@@ -1,0 +1,224 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Fig 6(a)/(b)/(c), Table II, Fig 7) and runs
+   Bechamel micro-benchmarks of the implementation itself.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig6a fig6b fig6c table2 fig7 micro
+*)
+
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+module Sim = Sg_os.Sim
+module Usage = Sg_kernel.Usage
+module Reg = Sg_kernel.Reg
+
+let hr title =
+  Printf.printf "\n==== %s %s\n%!" title
+    (String.make (max 1 (66 - String.length title)) '=')
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let bench_compile iface =
+  let source = Superglue.Compiler.builtin_source iface in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "compile:%s" iface)
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Superglue.Compiler.compile ~name:iface source)))
+
+let bench_codegen iface =
+  let artifact = Superglue.Compiler.builtin iface in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "codegen:%s" iface)
+    (Bechamel.Staged.stage (fun () -> ignore (Superglue.Codegen.emit artifact)))
+
+let bench_classify =
+  let usage = Option.get (Sg_components.Profiles.sched "sched_blk") in
+  let i = ref 0 in
+  Bechamel.Test.make ~name:"swifi:classify"
+    (Bechamel.Staged.stage (fun () ->
+         incr i;
+         ignore
+           (Usage.classify usage
+              ~reg:Reg.all.(!i mod 8)
+              ~bit:(!i mod 32)
+              ~at:(37 * !i mod 700))))
+
+let bench_workload (name, mode) iface =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "workload:%s:%s" iface name)
+    (Bechamel.Staged.stage (fun () ->
+         let sys = Sysbuild.build mode in
+         let check = Workloads.setup sys ~iface ~iters:5 in
+         (match Sim.run sys.Sysbuild.sys_sim with
+         | Sim.Completed -> ()
+         | _ -> failwith "bench workload failed");
+         ignore (check ())))
+
+let bench_recovery iface =
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "recovery:%s" iface)
+    (Bechamel.Staged.stage (fun () ->
+         let sys = Sysbuild.build Superglue.Stubset.mode in
+         let check = Workloads.setup sys ~iface ~iters:5 in
+         let target = Sysbuild.cid_of_iface sys iface in
+         let count = ref 0 in
+         Sim.set_on_dispatch sys.Sysbuild.sys_sim
+           (Some
+              (fun sim cid _ ->
+                if cid = target then begin
+                  incr count;
+                  if !count mod 6 = 0 then begin
+                    Sim.mark_failed sim cid ~detector:"bench";
+                    raise (Sg_os.Comp.Crash { cid; detector = "bench" })
+                  end
+                end));
+         (match Sim.run sys.Sysbuild.sys_sim with
+         | Sim.Completed -> ()
+         | _ -> failwith "bench recovery failed");
+         ignore (check ())))
+
+let micro () =
+  hr "Bechamel micro-benchmarks (real time per run)";
+  let tests =
+    Bechamel.Test.make_grouped ~name:"superglue"
+      [
+        Bechamel.Test.make_grouped ~name:"compiler"
+          (List.map bench_compile Superglue.Compiler.builtin_names);
+        Bechamel.Test.make_grouped ~name:"codegen"
+          (List.map bench_codegen [ "lock"; "evt"; "fs" ]);
+        bench_classify;
+        Bechamel.Test.make_grouped ~name:"runs"
+          (List.concat
+             [
+               List.map
+                 (bench_workload ("c3", Sysbuild.Stubbed Sysbuild.c3_stubset))
+                 [ "lock"; "fs" ];
+               List.map
+                 (bench_workload ("superglue", Superglue.Stubset.mode))
+                 [ "lock"; "fs" ];
+               List.map bench_recovery [ "lock"; "evt" ];
+             ]);
+      ]
+  in
+  let benchmark () =
+    let open Bechamel in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+    in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let open Bechamel in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  Printf.printf "%-44s %14s\n" "benchmark" "ns/run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         match Bechamel.Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "%-44s %14.1f\n" name est
+         | _ -> Printf.printf "%-44s %14s\n" name "n/a")
+
+(* ---------- the paper's tables and figures ---------- *)
+
+let fig6a () =
+  hr "Fig 6(a): infrastructure overhead";
+  let rows = Sg_harness.Fig6.infrastructure () in
+  Sg_util.Table.print
+    ~header:[ "Component"; "base us/iter"; "C3 +us"; "sd"; "SuperGlue +us"; "sd" ]
+    (List.map
+       (fun r ->
+         let open Sg_harness.Fig6 in
+         [
+           r.o_iface;
+           Printf.sprintf "%.2f" r.o_base_us;
+           Printf.sprintf "%.2f" r.o_c3.Sg_util.Stats.mean;
+           Printf.sprintf "%.2f" r.o_c3.Sg_util.Stats.stdev;
+           Printf.sprintf "%.2f" r.o_sg.Sg_util.Stats.mean;
+           Printf.sprintf "%.2f" r.o_sg.Sg_util.Stats.stdev;
+         ])
+       rows);
+  print_endline
+    "(paper Fig 6(a): SuperGlue has overhead similar to, slightly above, C3)"
+
+let fig6b () =
+  hr "Fig 6(b): per-descriptor recovery overhead";
+  let rows = Sg_harness.Fig6.recovery () in
+  Sg_util.Table.print
+    ~header:[ "Component"; "C3 us/desc"; "sd"; "SuperGlue us/desc"; "sd" ]
+    (List.map
+       (fun r ->
+         let open Sg_harness.Fig6 in
+         [
+           r.v_iface;
+           Printf.sprintf "%.2f" r.v_c3.Sg_util.Stats.mean;
+           Printf.sprintf "%.2f" r.v_c3.Sg_util.Stats.stdev;
+           Printf.sprintf "%.2f" r.v_sg.Sg_util.Stats.mean;
+           Printf.sprintf "%.2f" r.v_sg.Sg_util.Stats.stdev;
+         ])
+       rows);
+  print_endline
+    "(paper Fig 6(b): recovery cost correlates with the mechanisms used;\n\
+     the event manager, needing storage + upcalls, costs the most; the\n\
+     lock among the least)"
+
+let fig6c () =
+  hr "Fig 6(c): lines of recovery code";
+  let rows = Sg_harness.Fig6.loc () in
+  Sg_util.Table.print
+    ~header:[ "Component"; "SuperGlue IDL"; "generated"; "hand-written C3" ]
+    (List.map
+       (fun r ->
+         let open Sg_harness.Fig6 in
+         [
+           r.l_iface;
+           string_of_int r.l_idl;
+           string_of_int r.l_generated;
+           string_of_int r.l_c3;
+         ])
+       rows)
+
+let table2 () =
+  hr "Table II: SWIFI fault-injection campaign (500 faults/component)";
+  Sg_harness.Table2.print ()
+
+let fig7 () =
+  hr "Fig 7: web server throughput";
+  Sg_harness.Fig7.print ()
+
+let ablation () =
+  hr "Ablation: eager vs on-demand recovery";
+  Sg_harness.Ablation.print ()
+
+let all =
+  [
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("fig6c", fig6c);
+    ("table2", table2);
+    ("fig7", fig7);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown benchmark %s (have: %s)\n" name
+            (String.concat " " (List.map fst all));
+          exit 1)
+    requested

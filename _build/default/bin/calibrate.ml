@@ -1,0 +1,39 @@
+(* Prints the exact SWIFI outcome distribution per component profile by
+   exhaustively sweeping registers, bits and offsets. *)
+open Sg_kernel
+let dist usage =
+  let total = ref 0 and counts = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0) in
+  Array.iter (fun reg ->
+    for bit = 0 to 31 do
+      let d = Usage.duration_ns usage in
+      let step = max 1 (d / 200) in
+      let at = ref 0 in
+      while !at <= d do
+        incr total;
+        (match Usage.classify usage ~reg ~bit ~at:!at with
+         | Usage.Undetected -> bump "undetected"
+         | Usage.Failstop _ -> bump "failstop"
+         | Usage.Segfault -> bump "segfault"
+         | Usage.Propagated -> bump "propagated"
+         | Usage.Hang -> bump "hang");
+        at := !at + step
+      done
+    done) Reg.all;
+  List.map (fun k -> (k, 500.0 *. float_of_int (Option.value (Hashtbl.find_opt counts k) ~default:0) /. float_of_int !total))
+    ["failstop"; "segfault"; "propagated"; "hang"; "undetected"]
+let () =
+  List.iter (fun (name, p) ->
+    match p "x_" with
+    | Some u ->
+      let d = dist u in
+      Printf.printf "%-6s" name;
+      List.iter (fun (k, v) -> Printf.printf "  %s=%6.1f" k v) d;
+      print_newline ()
+    | None -> ())
+    [ ("sched", fun _ -> Sg_components.Profiles.sched "sched_x");
+      ("mm", fun _ -> Sg_components.Profiles.mm "mman_x");
+      ("fs", fun _ -> Sg_components.Profiles.fs "tx");
+      ("lock", fun _ -> Sg_components.Profiles.lock "lock_x");
+      ("evt", fun _ -> Sg_components.Profiles.event "evt_x");
+      ("timer", fun _ -> Sg_components.Profiles.timer "timer_x") ]

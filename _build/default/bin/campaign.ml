@@ -1,0 +1,75 @@
+(* superglue-campaign — the SWIFI fault-injection campaign CLI
+   (paper §V-D, Table II). *)
+
+open Cmdliner
+module Campaign = Sg_swifi.Campaign
+module Sysbuild = Sg_components.Sysbuild
+
+let mode_conv =
+  let parse = function
+    | "base" -> Ok Sysbuild.Base
+    | "c3" -> Ok (Sysbuild.Stubbed Sysbuild.c3_stubset)
+    | "superglue" -> Ok Superglue.Stubset.mode
+    | "superglue-gen" -> Ok Sg_genstubs.Gen_stubset.mode
+    | m -> Error (`Msg ("unknown mode " ^ m))
+  in
+  let print ppf _ = Format.fprintf ppf "<mode>" in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Superglue.Stubset.mode
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"System configuration: base, c3, superglue or superglue-gen.")
+
+let iface_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "iface" ] ~docv:"IFACE"
+        ~doc:"Target one service (sched mm fs lock evt timer); default: all six.")
+
+let injections_arg =
+  Arg.(
+    value & opt int 500
+    & info [ "n"; "injections" ] ~docv:"N" ~doc:"Faults to inject per service.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+
+let cmon_arg =
+  Arg.(
+    value & flag
+    & info [ "cmon" ]
+        ~doc:
+          "Arm the C'MON latent-fault monitor: loop-bound hangs are \
+           detected within an execution-budget overrun and recovered \
+           instead of hanging the system.")
+
+let run mode iface injections seed cmon =
+  let cmon_period_ns = if cmon then Some 5_000 else None in
+  match iface with
+  | Some iface ->
+      let row = Campaign.run ~seed ?cmon_period_ns ~mode ~iface ~injections () in
+      Format.printf "%a@." Campaign.pp_row row
+  | None ->
+      if cmon then
+        List.iter
+          (fun iface ->
+            let row =
+              Campaign.run ~seed ?cmon_period_ns ~mode ~iface ~injections ()
+            in
+            Format.printf "%a@." Campaign.pp_row row)
+          Sg_components.Workloads.all_ifaces
+      else Sg_harness.Table2.print ~mode ~injections ()
+
+let () =
+  let term =
+    Term.(const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg)
+  in
+  let info =
+    Cmd.info "superglue-campaign"
+      ~doc:"SWIFI register bit-flip fault-injection campaign (Table II)"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,124 @@
+(* sgc — the SuperGlue IDL compiler command-line interface.
+
+   Compiles .sgidl interface specifications into stub modules, renders
+   the plain header of the paper's first pipeline stage, and reports the
+   model/mechanism/state-machine diagnostics. *)
+
+open Cmdliner
+module Compiler = Superglue.Compiler
+module Codegen = Superglue.Codegen
+module Machine = Superglue.Machine
+module Model = Superglue.Model
+module Ir = Superglue.Ir
+
+let load source builtin =
+  match (source, builtin) with
+  | Some path, None -> Compiler.compile_file path
+  | None, Some name -> Compiler.builtin name
+  | _ -> failwith "give exactly one of FILE or --builtin NAME"
+
+let write_out out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text);
+      Printf.eprintf "wrote %s (%d LOC)\n" path (Codegen.loc text)
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Interface specification (.sgidl).")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) Compiler.builtin_names))) None
+    & info [ "builtin" ] ~docv:"NAME"
+        ~doc:"Use an embedded system interface instead of a file.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
+
+let handle f =
+  try `Ok (f ()) with
+  | Compiler.Compile_error msg -> `Error (false, msg)
+  | Failure msg -> `Error (false, msg)
+
+let compile_cmd =
+  let run source builtin out =
+    handle (fun () ->
+        let a = load source builtin in
+        List.iter (Printf.eprintf "warning: %s\n") a.Compiler.a_warnings;
+        write_out out (Codegen.emit a))
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Generate the OCaml client and server stub module.")
+    Term.(ret (const run $ file_arg $ builtin_arg $ out_arg))
+
+let header_cmd =
+  let run source builtin out =
+    handle (fun () ->
+        let a = load source builtin in
+        write_out out (Compiler.emit_header a.Compiler.a_ir))
+  in
+  Cmd.v
+    (Cmd.info "header" ~doc:"Render the plain header (SuperGlue keywords erased).")
+    Term.(ret (const run $ file_arg $ builtin_arg $ out_arg))
+
+let check_cmd =
+  let run source builtin =
+    handle (fun () ->
+        let a = load source builtin in
+        let ir = a.Compiler.a_ir in
+        Printf.printf "interface %s: %d functions, %d LOC of IDL\n"
+          a.Compiler.a_name
+          (List.length ir.Ir.ir_funcs)
+          (Codegen.loc a.Compiler.a_source);
+        Format.printf "model: %a@." Model.pp ir.Ir.ir_model;
+        Printf.printf "mechanisms: %s\n" (String.concat " " (Compiler.mechanisms a));
+        Printf.printf "templates included: %d of %d\n"
+          (List.length (Codegen.included_templates a))
+          Superglue.Templates.count;
+        List.iter
+          (fun st ->
+            if st <> "s0" then begin
+              let p = Machine.plan a.Compiler.a_machine st in
+              Printf.printf "recovery %-28s walk: %s%s\n" st
+                (String.concat " -> " p.Machine.pl_path)
+                (match p.Machine.pl_restore with
+                | [] -> ""
+                | r -> "; restore: " ^ String.concat " " r)
+            end)
+          (Machine.states a.Compiler.a_machine);
+        List.iter (Printf.printf "warning: %s\n") a.Compiler.a_warnings)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Diagnostics: model, mechanisms, recovery plans.")
+    Term.(ret (const run $ file_arg $ builtin_arg))
+
+let graph_cmd =
+  let run source builtin out =
+    handle (fun () ->
+        let a = load source builtin in
+        write_out out (Machine.to_dot a.Compiler.a_machine))
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Render the descriptor state machine with its recovery plans as \
+          Graphviz DOT (the Fig 2 diagrams).")
+    Term.(ret (const run $ file_arg $ builtin_arg $ out_arg))
+
+let () =
+  let info =
+    Cmd.info "sgc" ~version:"1.0"
+      ~doc:"SuperGlue IDL compiler for interface-driven fault recovery"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; header_cmd; check_cmd; graph_cmd ]))

@@ -1,0 +1,74 @@
+(* superglue-webbench — web-server throughput benchmark CLI
+   (paper §V-E, Fig 7). *)
+
+open Cmdliner
+module Sim = Sg_os.Sim
+module Sysbuild = Sg_components.Sysbuild
+module Server = Sg_web.Server
+module Abench = Sg_web.Abench
+
+let mode_conv =
+  let parse = function
+    | "base" -> Ok Sysbuild.Base
+    | "c3" -> Ok (Sysbuild.Stubbed Sysbuild.c3_stubset)
+    | "superglue" -> Ok Superglue.Stubset.mode
+    | "superglue-gen" -> Ok Sg_genstubs.Gen_stubset.mode
+    | m -> Error (`Msg ("unknown mode " ^ m))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<mode>")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Run one configuration (base, c3, superglue, superglue-gen); \
+              default: the full Fig 7 comparison.")
+
+let requests_arg =
+  Arg.(value & opt int 50_000 & info [ "requests" ] ~docv:"N" ~doc:"HTTP requests.")
+
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print the per-10ms throughput timeline with crash markers \
+              (the content of the paper's Fig 7 plot).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-period-ms" ] ~docv:"MS"
+        ~doc:"Crash one system service every MS virtual milliseconds.")
+
+let run mode requests fault_ms timeline =
+  let fault_period_ns = Option.map (fun ms -> ms * 1_000_000) fault_ms in
+  match mode with
+  | None -> Sg_harness.Fig7.print ~requests ()
+  | Some mode ->
+      let sys = Sysbuild.build mode in
+      let server = Server.install sys in
+      let r = Abench.run ?fault_period_ns ~requests sys server in
+      Printf.printf
+        "%s: %.0f req/s over %.3f virtual s (errors=%d, crashes=%d, reboots=%d)\n"
+        sys.Sysbuild.sys_mode r.Abench.ab_rps
+        (Sg_kernel.Clock.s_of_ns r.Abench.ab_sim_ns)
+        r.Abench.ab_errors r.Abench.ab_faults
+        (Sim.reboots sys.Sysbuild.sys_sim);
+      if timeline then begin
+        print_string (Abench.render_timeline (Abench.timeline sys server));
+        if Sys.getenv_opt "SG_DEBUG_TRACE" <> None then
+          List.iter
+            (fun e -> Format.printf "%a@." Sim.pp_trace_event e)
+            (Sim.trace sys.Sysbuild.sys_sim)
+      end
+
+let () =
+  let term =
+    Term.(const run $ mode_arg $ requests_arg $ faults_arg $ timeline_arg)
+  in
+  let info =
+    Cmd.info "superglue-webbench" ~doc:"Componentized web-server throughput (Fig 7)"
+  in
+  exit (Cmd.eval (Cmd.v info term))

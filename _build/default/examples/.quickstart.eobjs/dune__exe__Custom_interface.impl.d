@@ -1,0 +1,1 @@
+examples/custom_interface.ml: Format Hashtbl List Printf Sg_c3 Sg_cbuf Sg_os Sg_storage String Superglue

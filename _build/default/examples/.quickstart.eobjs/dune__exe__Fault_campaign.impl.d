@@ -1,0 +1,1 @@
+examples/fault_campaign.ml: Array Format List Printf Sg_swifi Superglue Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf Sg_components Sg_os Superglue

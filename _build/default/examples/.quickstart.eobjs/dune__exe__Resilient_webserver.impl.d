@@ -1,0 +1,1 @@
+examples/resilient_webserver.ml: Printf Sg_components Sg_os Sg_web Superglue

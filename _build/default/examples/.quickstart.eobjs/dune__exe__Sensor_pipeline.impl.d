@@ -1,0 +1,1 @@
+examples/sensor_pipeline.ml: Array Format List Option Printf Sg_components Sg_os Sg_util String Superglue

@@ -1,0 +1,1 @@
+lib/c3/cstub.ml: List Printf Sg_os Tracker

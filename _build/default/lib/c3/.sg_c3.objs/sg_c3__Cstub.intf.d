@@ -1,0 +1,1 @@
+lib/c3/cstub.mli: Sg_os Tracker

@@ -1,0 +1,1 @@
+lib/c3/serverstub.ml: Hashtbl List Printf Sg_os Sg_storage String Sys

@@ -1,0 +1,1 @@
+lib/c3/serverstub.mli: Sg_os Sg_storage

@@ -1,0 +1,1 @@
+lib/c3/tracker.ml: Hashtbl List Option Printf Sg_kernel Sg_os

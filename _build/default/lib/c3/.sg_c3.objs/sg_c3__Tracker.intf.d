@@ -1,0 +1,1 @@
+lib/c3/tracker.mli: Sg_os

@@ -1,0 +1,258 @@
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Port = Sg_os.Port
+
+type walk_ctx = {
+  w_invoke : string -> Comp.value list -> Comp.value;
+  w_parent_id : Tracker.desc -> int;
+  w_recover_local : int -> unit;
+}
+
+type config = {
+  cfg_iface : string;
+  cfg_mode : [ `Ondemand | `Eager ];
+  cfg_desc_arg : string -> int option;
+  cfg_parent_arg : string -> int option;
+  cfg_terminate_fns : string list;
+  cfg_d0_children : bool;
+  cfg_virtual_create : string -> bool;
+  cfg_track :
+    Sim.t -> Tracker.t -> epoch:int ->
+    string -> Comp.value list -> Comp.value -> unit;
+  cfg_walk : Sim.t -> walk_ctx -> Tracker.desc -> unit;
+}
+
+exception Walk_interrupted
+
+type t = {
+  sb_client : Comp.cid;
+  sb_server : Comp.cid;
+  sb_tracker : Tracker.t;
+  sb_cfg : config;
+  mutable sb_recoveries : int;
+}
+
+let tracker t = t.sb_tracker
+let server t = t.sb_server
+let client t = t.sb_client
+let recoveries t = t.sb_recoveries
+
+let ensure_alive sim cid = if Sim.is_failed sim cid then Sim.microreboot sim cid
+
+let max_retries = 64
+
+(* Invoke an interface function during a recovery walk. On a fault the
+   server is rebooted and the whole walk restarted (the partially replayed
+   state is gone with the reboot, so per-step retry would be wrong). *)
+let walk_invoke sim t fn args =
+  match Sim.invoke sim ~server:t.sb_server fn args with
+  | Ok v -> v
+  | Error e ->
+      failwith
+        (Printf.sprintf "recovery walk: %s.%s returned %s" t.sb_cfg.cfg_iface
+           fn (Comp.errno_to_string e))
+  | exception Comp.Crash { cid; _ } when cid = t.sb_server ->
+      ensure_alive sim t.sb_server;
+      raise Walk_interrupted
+  | exception Comp.Diverted { cid } when cid = t.sb_server ->
+      ensure_alive sim t.sb_server;
+      raise Walk_interrupted
+
+let rec recover_desc ?(even_dead = false) sim t d =
+  let rec go attempt =
+    if attempt > max_retries then
+      failwith
+        (Printf.sprintf "descriptor %d of %s: recovery did not converge"
+           d.Tracker.d_id t.sb_cfg.cfg_iface);
+    let ep = Sim.epoch sim t.sb_server in
+    if (d.Tracker.d_live || even_dead) && d.Tracker.d_epoch <> ep then begin
+      (* mark consistent first: the walk below replays interface calls
+         that re-enter this stub's tracking *)
+      d.Tracker.d_epoch <- ep;
+      t.sb_recoveries <- t.sb_recoveries + 1;
+      try
+        let parent_id d =
+          (* D1: parents are recovered root-first before the walk can
+             replay the creation that depends on them *)
+          match d.Tracker.d_parent with
+          | None -> 0
+          | Some (Tracker.Local pid) -> (
+              match Tracker.find t.sb_tracker pid with
+              | Some p ->
+                  (* Y_dr: a closed parent's kept record is still walked
+                     (without resurrecting it) so the child's creation
+                     chain can be replayed *)
+                  recover_desc ~even_dead:true sim t p;
+                  p.Tracker.d_server_id
+              | None -> pid)
+          | Some (Tracker.Cross { client; id }) -> (
+              (* XCParent: the parent lives in another client component;
+                 upcall into its stub (U0) *)
+              match
+                Sim.upcall sim ~client
+                  ("sg_recover:" ^ t.sb_cfg.cfg_iface)
+                  [ Comp.VInt id ]
+              with
+              | Ok (Comp.VInt sid) -> sid
+              | Ok _ | Error _ -> id)
+        in
+        let wctx =
+          {
+            w_invoke = (fun fn args -> walk_invoke sim t fn args);
+            w_parent_id = parent_id;
+            w_recover_local =
+              (fun id ->
+                match Tracker.find t.sb_tracker id with
+                | Some p -> recover_desc sim t p
+                | None -> ());
+          }
+        in
+        t.sb_cfg.cfg_walk sim wctx d;
+        (* the stub updates its tracking record post-recovery *)
+        Tracker.track_charge t.sb_tracker sim
+      with Walk_interrupted ->
+        d.Tracker.d_epoch <- -1;
+        go (attempt + 1)
+    end
+  in
+  go 0
+
+let recover_all sim t =
+  List.iter (fun d -> recover_desc sim t d) (Tracker.live t.sb_tracker)
+
+(* CSTUB_FAULT_UPDATE: booter recovery plus, in eager mode, immediate
+   recovery of the entire tracked state. *)
+let fault_update sim t =
+  ensure_alive sim t.sb_server;
+  match t.sb_cfg.cfg_mode with
+  | `Eager -> recover_all sim t
+  | `Ondemand -> ()
+
+let replace_nth l n v = List.mapi (fun i x -> if i = n then v else x) l
+
+(* The Fig-4 invocation loop. *)
+let call t sim fn args =
+  let cfg = t.sb_cfg in
+  let rec attempt n =
+    if n > max_retries then
+      failwith
+        (Printf.sprintf "%s.%s: fault recovery did not converge"
+           cfg.cfg_iface fn);
+    (* cli_if_desc_update: T1 on-demand recovery of the descriptors this
+       call touches, and translation to their current server ids; a
+       parent-bearing argument is recovered first (D1) *)
+    let args_parented =
+      match cfg.cfg_parent_arg fn with
+      | None -> args
+      | Some idx -> (
+          match List.nth_opt args idx with
+          | Some (Comp.VInt id) -> (
+              match Tracker.find t.sb_tracker id with
+              | Some d when d.Tracker.d_live ->
+                  recover_desc sim t d;
+                  replace_nth args idx (Comp.VInt d.Tracker.d_server_id)
+              | Some _ | None -> args)
+          | Some _ | None -> args)
+    in
+    let args' =
+      match cfg.cfg_desc_arg fn with
+      | None -> args_parented
+      | Some idx -> (
+          Tracker.lookup_charge t.sb_tracker sim;
+          match List.nth_opt args_parented idx with
+          | Some (Comp.VInt id) -> (
+              match Tracker.find t.sb_tracker id with
+              | Some d when d.Tracker.d_live ->
+                  recover_desc sim t d;
+                  (* D0: a terminate function destroys the children too;
+                     they must exist on the recovered server for the
+                     recursive revocation to have its side effects. A
+                     fresh fault during one child's walk stales the
+                     already-recovered ones, so iterate until the whole
+                     family is consistent at a single epoch. *)
+                  if cfg.cfg_d0_children && List.mem fn cfg.cfg_terminate_fns
+                  then begin
+                    let rec family acc d =
+                      List.fold_left family (d :: acc)
+                        (Tracker.children t.sb_tracker d.Tracker.d_id)
+                    in
+                    let rec stabilize attempt =
+                      if attempt > max_retries then
+                        failwith
+                          (Printf.sprintf "%s.%s: subtree recovery did not converge"
+                             cfg.cfg_iface fn);
+                      let members = family [] d in
+                      List.iter (fun m -> recover_desc sim t m) members;
+                      let ep = Sim.epoch sim t.sb_server in
+                      if
+                        not
+                          (List.for_all
+                             (fun m -> m.Tracker.d_epoch = ep)
+                             (family [] d))
+                      then stabilize (attempt + 1)
+                    in
+                    stabilize 0
+                  end;
+                  replace_nth args_parented idx (Comp.VInt d.Tracker.d_server_id)
+              | Some _ | None -> args_parented)
+          | Some _ | None -> args_parented)
+    in
+    match Sim.invoke sim ~server:t.sb_server fn args' with
+    | Ok ret ->
+        (* cli_if_track: descriptor state tracking on the original
+           (client-visible) ids *)
+        cfg.cfg_track sim t.sb_tracker
+          ~epoch:(Sim.epoch sim t.sb_server)
+          fn args ret;
+        if cfg.cfg_virtual_create fn then
+          (* hand the client a stub-virtual id that survives server
+             namespace resets; the stub translates on every call *)
+          match ret with
+          | Comp.VInt raw -> (
+              let v = Tracker.fresh t.sb_tracker in
+              match Tracker.rekey t.sb_tracker ~from:raw ~to_:v with
+              | Some _ -> Ok (Comp.VInt v)
+              | None -> Ok ret)
+          | _ -> Ok ret
+        else Ok ret
+    | Error _ as e -> e
+    | exception Comp.Crash { cid; _ } when cid = t.sb_server ->
+        fault_update sim t;
+        attempt (n + 1)
+    | exception Comp.Diverted { cid } when cid = t.sb_server ->
+        fault_update sim t;
+        attempt (n + 1)
+    | exception Walk_interrupted ->
+        (* a nested recovery was interrupted by a fresh fault *)
+        fault_update sim t;
+        attempt (n + 1)
+  in
+  attempt 0
+
+let port t =
+  { Port.server = t.sb_server; call = (fun sim fn args -> call t sim fn args) }
+
+let make sim ~client ~server ~flavor cfg =
+  let t =
+    {
+      sb_client = client;
+      sb_server = server;
+      sb_tracker = Tracker.create ~flavor ();
+      sb_cfg = cfg;
+      sb_recoveries = 0;
+    }
+  in
+  (* recovery upcall: lets server-side stubs (G0) and cross-component
+     parent recovery (XCParent/U0) drive this stub *)
+  Sim.register_upcall sim ~client
+    ("sg_recover:" ^ cfg.cfg_iface)
+    (fun sim args ->
+      match args with
+      | [ Comp.VInt id ] -> (
+          match Tracker.find t.sb_tracker id with
+          | Some d when d.Tracker.d_live ->
+              recover_desc sim t d;
+              Ok (Comp.VInt d.Tracker.d_server_id)
+          | Some _ | None -> Error Comp.ENOENT)
+      | _ -> Error Comp.EINVAL);
+  t

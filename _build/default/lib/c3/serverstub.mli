@@ -1,0 +1,40 @@
+(** The server-side interface stub.
+
+    Wraps a component's spec with the recovery logic that must live on
+    the server side of the interface (paper §III-C):
+
+    - {b G0} — for globally addressable descriptors, a successful call to
+      a creation function registers (descriptor → creator) with the
+      storage component; after a micro-reboot, an invocation carrying a
+      descriptor the recovered server does not know returns EINVAL — the
+      stub catches it, asks the storage component who created the
+      descriptor, upcalls into that client's stub to recreate it (U0),
+      and replays the invocation with the recovered descriptor;
+    - {b T0} — the post-reboot constructor performs eager recovery,
+      waking every thread the faulty component had blocked, via the
+      wakeup function of the recovering server's own server. *)
+
+type config = {
+  ss_iface : string;  (** storage space; matches the client stubs' *)
+  ss_global : bool;  (** G_dr: descriptors shared across clients *)
+  ss_desc_arg : string -> int option;
+  ss_parent_arg : string -> int option;
+      (** a parent-descriptor argument is as globally addressable as the
+          descriptor itself: an EINVAL caused by a stale parent id (e.g.
+          a replayed cross-component creation) is recovered through the
+          same storage-lookup + creator-upcall path *)
+  ss_create_fns : string list;
+  ss_create_meta :
+    string -> Sg_os.Comp.value list -> Sg_os.Comp.value ->
+    (string * Sg_os.Comp.value) list;
+      (** meta recorded with the storage registration, from
+          (function, args, ret) *)
+  ss_boot_init : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit;  (** T0 *)
+}
+
+val wrap : storage:Sg_storage.Storage.t -> config -> Sg_os.Sim.spec -> Sg_os.Sim.spec
+(** [wrap ~storage cfg spec] interposes the server stub on [spec]'s
+    dispatch and appends [ss_boot_init] to its post-reboot constructor. *)
+
+val no_boot_init : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
+(** Convenience for components with no eager recovery ([¬B_r]). *)

@@ -1,0 +1,1 @@
+lib/cbuf/cbuf.ml: Bytes Hashtbl List Option Sg_kernel Sg_os String

@@ -1,0 +1,1 @@
+lib/cbuf/cbuf.mli: Sg_os

@@ -1,0 +1,39 @@
+(** Zero-copy shared buffer management (cbufs).
+
+    RamFS shares file contents with its clients and with the storage
+    component through zero-copy buffers in which only the producing
+    component has write access and every other component maps the buffer
+    read-only (paper §II-C, citing the cbuf subsystem [17]). The access
+    restriction prevents fault propagation through the buffer, so — like
+    the kernel — this manager is *outside the fault domain* (paper
+    §II-E) and is never fault-injected.
+
+    Buffers are identified by small integers that can be passed through
+    component interfaces as plain values. *)
+
+type id = int
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> Sg_os.Sim.t -> owner:Sg_os.Comp.cid -> size:int -> id
+(** Allocate a buffer writable only by [owner]; charges the map cost. *)
+
+val write : t -> Sg_os.Sim.t -> writer:Sg_os.Comp.cid -> id -> pos:int -> string ->
+  (unit, [ `Denied | `Bounds | `Unknown ]) result
+(** Write into the buffer; only the owner may write. *)
+
+val grant_read : t -> Sg_os.Sim.t -> id -> reader:Sg_os.Comp.cid -> unit
+(** Map the buffer read-only into another component; charges the map
+    cost. Idempotent. *)
+
+val read : t -> reader:Sg_os.Comp.cid -> id -> pos:int -> len:int ->
+  (string, [ `Denied | `Bounds | `Unknown ]) result
+(** Read [len] bytes at [pos]; the reader must be the owner or have been
+    granted read access. *)
+
+val size : t -> id -> int option
+val owner : t -> id -> Sg_os.Comp.cid option
+val free : t -> id -> unit
+val count : t -> int

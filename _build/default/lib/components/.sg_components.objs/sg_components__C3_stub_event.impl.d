@@ -1,0 +1,1 @@
+lib/components/c3_stub_event.ml: Event Option Sg_c3 Sg_os Sg_storage

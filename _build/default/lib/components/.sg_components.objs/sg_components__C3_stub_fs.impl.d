@@ -1,0 +1,1 @@
+lib/components/c3_stub_fs.ml: Option Ramfs Sg_c3 Sg_os String

@@ -1,0 +1,1 @@
+lib/components/c3_stub_lock.ml: Lock Sg_c3 Sg_os

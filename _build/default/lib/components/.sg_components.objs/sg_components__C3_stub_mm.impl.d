@@ -1,0 +1,1 @@
+lib/components/c3_stub_mm.ml: List Mm Option Sg_c3 Sg_os

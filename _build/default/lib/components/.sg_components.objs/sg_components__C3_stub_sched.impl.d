@@ -1,0 +1,1 @@
+lib/components/c3_stub_sched.ml: Option Sched Sg_c3 Sg_os

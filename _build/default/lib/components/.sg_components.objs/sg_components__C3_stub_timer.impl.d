@@ -1,0 +1,1 @@
+lib/components/c3_stub_timer.ml: Option Sg_c3 Sg_os Timer

@@ -1,0 +1,1 @@
+lib/components/event.ml: Hashtbl List Profiles Sched Sg_kernel Sg_os

@@ -1,0 +1,1 @@
+lib/components/event.mli: Sg_os

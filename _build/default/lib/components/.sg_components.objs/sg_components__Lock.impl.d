@@ -1,0 +1,1 @@
+lib/components/lock.ml: Hashtbl List Profiles Sched Sg_kernel Sg_os

@@ -1,0 +1,1 @@
+lib/components/lock.mli: Sg_os

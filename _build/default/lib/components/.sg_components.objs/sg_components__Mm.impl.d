@@ -1,0 +1,1 @@
+lib/components/mm.ml: Hashtbl List Profiles Sg_kernel Sg_os

@@ -1,0 +1,1 @@
+lib/components/mm.mli: Sg_os

@@ -1,0 +1,1 @@
+lib/components/profiles.ml: Lazy List Reg Sg_kernel String Usage

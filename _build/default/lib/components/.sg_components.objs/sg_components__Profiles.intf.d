@@ -1,0 +1,1 @@
+lib/components/profiles.mli: Sg_kernel

@@ -1,0 +1,1 @@
+lib/components/ramfs.ml: Bytes Hashtbl List Profiles Sg_cbuf Sg_os Sg_storage String

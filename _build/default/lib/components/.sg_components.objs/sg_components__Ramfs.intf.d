@@ -1,0 +1,1 @@
+lib/components/ramfs.mli: Sg_cbuf Sg_os Sg_storage

@@ -1,0 +1,1 @@
+lib/components/sched.mli: Sg_os

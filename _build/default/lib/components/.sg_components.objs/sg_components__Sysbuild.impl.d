@@ -1,0 +1,1 @@
+lib/components/sysbuild.ml: C3_stub_event C3_stub_fs C3_stub_lock C3_stub_mm C3_stub_sched C3_stub_timer Event Hashtbl List Lock Mm Ramfs Sched Sg_c3 Sg_cbuf Sg_os Sg_storage Timer

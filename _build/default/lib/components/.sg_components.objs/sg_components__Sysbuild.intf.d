@@ -1,0 +1,1 @@
+lib/components/sysbuild.mli: Sg_c3 Sg_cbuf Sg_kernel Sg_os Sg_storage

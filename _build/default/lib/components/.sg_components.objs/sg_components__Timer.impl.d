@@ -1,0 +1,1 @@
+lib/components/timer.ml: Hashtbl List Profiles Sg_kernel Sg_os

@@ -1,0 +1,1 @@
+lib/components/timer.mli: Sg_os

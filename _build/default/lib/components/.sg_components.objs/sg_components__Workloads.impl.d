@@ -1,0 +1,1 @@
+lib/components/workloads.ml: Char Event List Lock Mm Option Printf Ramfs Sched Sg_kernel Sg_os String Sysbuild Timer

@@ -1,0 +1,1 @@
+lib/components/workloads.mli: Sysbuild

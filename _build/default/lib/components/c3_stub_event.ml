@@ -1,0 +1,94 @@
+(* Hand-written C³ interface stub for the event notification component —
+   the service that needs every recovery mechanism (paper Fig 2(c)).
+
+   Descriptors are global: creations are registered with the storage
+   component on the server side (G0); parents may have been created by a
+   different client component (XCParent), in which case recovery upcalls
+   into the creator's stub (U0/D1). *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Storage = Sg_storage.Storage
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+let desc_arg = function
+  | "evt_wait" | "evt_trigger" | "evt_free" -> Some 1
+  | _ -> None
+
+(* The parent of a split may have been created by this client (tracked
+   locally) or by another component — the storage component's creator
+   registry resolves the latter (the same G0 data the server stub uses). *)
+let parent_of storage sim tr parent_evtid =
+  if parent_evtid = 0 then None
+  else
+    match Tracker.find tr parent_evtid with
+    | Some _ -> Some (Tracker.Local parent_evtid)
+    | None -> (
+        match
+          Storage.lookup_desc storage sim ~space:Event.iface ~id:parent_evtid
+        with
+        | Some (creator, _) ->
+            Some (Tracker.Cross { client = creator; id = parent_evtid })
+        | None -> None)
+
+let track storage sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "evt_split", [ Comp.VInt compid; Comp.VInt parent; Comp.VInt grp ], Comp.VInt id
+    ->
+      let p = parent_of storage sim tr parent in
+      ignore
+        (Tracker.add tr sim ?parent:p ~state:"split"
+           ~meta:[ ("compid", Comp.VInt compid); ("grp", Comp.VInt grp) ]
+           ~epoch id)
+  | "evt_wait", [ _; Comp.VInt id ], _ | "evt_trigger", [ _; Comp.VInt id ], _
+    -> (
+      match Tracker.find tr id with
+      | Some d -> Tracker.set_state tr sim d "split"
+      | None -> ())
+  | "evt_free", [ _; Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> d.Tracker.d_live <- false
+      | None -> ())
+  | _ -> ()
+
+let walk _sim wctx d =
+  let compid = Option.value (Tracker.meta_int d "compid") ~default:0 in
+  let grp = Option.value (Tracker.meta_int d "grp") ~default:0 in
+  let parent_sid = wctx.Cstub.w_parent_id d in
+  let id =
+    Comp.int_exn
+      (wctx.Cstub.w_invoke "evt_split"
+         [ Comp.VInt compid; Comp.VInt parent_sid; Comp.VInt grp ])
+  in
+  d.Tracker.d_server_id <- id
+
+let client_config ~storage () =
+  {
+    Cstub.cfg_iface = Event.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = false;
+    cfg_virtual_create = (fun _ -> false);
+    cfg_terminate_fns = [ "evt_free" ];
+    cfg_track = (fun sim tr ~epoch fn args ret -> track storage sim tr ~epoch fn args ret);
+    cfg_walk = walk;
+  }
+
+let server_config ~sched_port () =
+  {
+    Serverstub.ss_iface = Event.iface;
+    ss_global = true;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (function "evt_split" -> Some 1 | _ -> None);
+    ss_create_fns = [ "evt_split" ];
+    ss_create_meta =
+      (fun _fn args _ret ->
+        match args with
+        | [ compid; parent; grp ] ->
+            [ ("compid", compid); ("parent", parent); ("grp", grp) ]
+        | _ -> []);
+    ss_boot_init = Event.boot_init_t0 ~sched_port;
+  }

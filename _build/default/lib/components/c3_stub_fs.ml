@@ -1,0 +1,92 @@
+(* Hand-written C³ interface stub for the RAM file system — the largest
+   of the original C³ stubs (the paper reports ~398 LOC of manual C for
+   this interface).
+
+   Descriptor: the file descriptor, remapped on recovery. Tracked data:
+   the path in the FS namespace and the offset, updated from the return
+   values of read and write (paper §II-C). The recovery walk re-splits
+   the full path from the root and restores the offset with lseek —
+   whereupon the server side restores the file *contents* from the
+   storage component's slices (G1). *)
+
+module Comp = Sg_os.Comp
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+let desc_arg = function
+  | "tsplit" | "tread" | "twrite" | "tlseek" | "trelease" -> Some 0
+  | _ -> None
+
+let bump_off sim tr id delta =
+  match Tracker.find tr id with
+  | Some d ->
+      let off = Option.value (Tracker.meta_int d "off") ~default:0 in
+      Tracker.set_meta tr sim d "off" (Comp.VInt (off + delta))
+  | None -> ()
+
+let track sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "tsplit", [ Comp.VInt parent; Comp.VStr name ], Comp.VInt fd ->
+      let path =
+        if parent = Ramfs.root_fd then "/" ^ name
+        else
+          match Tracker.find tr parent with
+          | Some p -> Option.value (Tracker.meta_str p "path") ~default:"" ^ "/" ^ name
+          | None -> "/" ^ name
+      in
+      let par = if parent = Ramfs.root_fd then None else Some (Tracker.Local parent) in
+      ignore
+        (Tracker.add tr sim ?parent:par ~state:"open"
+           ~meta:[ ("path", Comp.VStr path); ("off", Comp.VInt 0) ]
+           ~epoch fd)
+  | "tread", [ Comp.VInt fd; _ ], Comp.VStr data ->
+      bump_off sim tr fd (String.length data)
+  | "twrite", [ Comp.VInt fd; _ ], Comp.VInt n -> bump_off sim tr fd n
+  | "tlseek", [ Comp.VInt fd; _ ], Comp.VInt off -> (
+      match Tracker.find tr fd with
+      | Some d -> Tracker.set_meta tr sim d "off" (Comp.VInt off)
+      | None -> ())
+  | "trelease", [ Comp.VInt fd ], _ -> (
+      match Tracker.find tr fd with
+      | Some d -> d.Tracker.d_live <- false
+      | None -> ())
+  | _ -> ()
+
+let walk _sim wctx d =
+  (* re-split the full tracked path from the root: the server rebuilds
+     the file from storage slices if its contents were lost, then the
+     offset is restored — the paper's "open and lseek" walk *)
+  let path = Option.value (Tracker.meta_str d "path") ~default:"" in
+  let rel = if String.length path > 0 then String.sub path 1 (String.length path - 1) else "" in
+  let fd =
+    Comp.int_exn
+      (wctx.Cstub.w_invoke "tsplit" [ Comp.VInt Ramfs.root_fd; Comp.VStr rel ])
+  in
+  d.Tracker.d_server_id <- fd;
+  let off = Option.value (Tracker.meta_int d "off") ~default:0 in
+  if off <> 0 then ignore (wctx.Cstub.w_invoke "tlseek" [ Comp.VInt fd; Comp.VInt off ])
+
+let client_config () =
+  {
+    Cstub.cfg_iface = Ramfs.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = false;
+    cfg_virtual_create = (fun fn -> fn = "tsplit");
+    cfg_terminate_fns = [ "trelease" ];
+    cfg_track = track;
+    cfg_walk = walk;
+  }
+
+let server_config () =
+  {
+    Serverstub.ss_iface = Ramfs.iface;
+    ss_global = false;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (fun _ -> None);
+    ss_create_fns = [ "tsplit" ];
+    ss_create_meta = (fun _ _ _ -> []);
+    ss_boot_init = Serverstub.no_boot_init;
+  }

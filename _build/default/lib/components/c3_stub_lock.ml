@@ -1,0 +1,67 @@
+(* Hand-written C³ interface stub for the lock component.
+
+   Descriptor: the lock id (remapped when the rebooted server allocates a
+   fresh id). State machine: available --take--> taken --release-->
+   available; the recovery walk re-allocates and, if the descriptor was
+   taken, re-acquires — re-contending if another recovered client got
+   there first, exactly the behaviour sketched in paper §II-C. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+let desc_arg = function
+  | "lock_take" | "lock_release" | "lock_free" -> Some 0
+  | _ -> None
+
+let track sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "lock_alloc", [], Comp.VInt id ->
+      ignore (Tracker.add tr sim ~state:"available" ~meta:[] ~epoch id)
+  | "lock_take", [ Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> Tracker.set_state tr sim d "taken"
+      | None -> ())
+  | "lock_release", [ Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> Tracker.set_state tr sim d "available"
+      | None -> ())
+  | "lock_free", [ Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> d.Tracker.d_live <- false
+      | None -> ())
+  | _ -> ()
+
+let walk _sim wctx d =
+  let id = Comp.int_exn (wctx.Cstub.w_invoke "lock_alloc" []) in
+  d.Tracker.d_server_id <- id;
+  if d.Tracker.d_state = "taken" then
+    (* re-acquire on behalf of the logical holder; the recovering thread
+       then re-contends behind its own redo if it was not the holder *)
+    ignore (wctx.Cstub.w_invoke "lock_take" [ Comp.VInt id ])
+
+let client_config () =
+  {
+    Cstub.cfg_iface = Lock.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = false;
+    cfg_virtual_create = (fun fn -> fn = "lock_alloc");
+    cfg_terminate_fns = [ "lock_free" ];
+    cfg_track = track;
+    cfg_walk = walk;
+  }
+
+let server_config ~sched_port () =
+  {
+    Serverstub.ss_iface = Lock.iface;
+    ss_global = false;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (fun _ -> None);
+    ss_create_fns = [ "lock_alloc" ];
+    ss_create_meta = (fun _ _ _ -> []);
+    ss_boot_init = Lock.boot_init_t0 ~sched_port;
+  }

@@ -1,0 +1,93 @@
+(* Hand-written C³ interface stub for the memory manager.
+
+   Descriptors are virtual addresses in the component they are mapped in
+   (paper §II-D): a root mapping's id is its vaddr; an alias into another
+   component is keyed by (destination component, vaddr). Aliases depend
+   on their source mapping (D1: parents recover first, root to leaf) and
+   are recovered before a release so that recursive revocation has its
+   side effects on the recovered server (D0). Replayed creations adopt
+   surviving kernel PTEs, so physical frames are preserved. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+(* Alias descriptors are keyed by (destination component, vaddr). *)
+let alias_id ~dst ~dvaddr = (dst lsl 32) lor dvaddr
+
+let desc_arg = function
+  | "mman_alias_page" | "mman_release_page" -> Some 0
+  | _ -> None
+
+let track sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "mman_get_page", [ Comp.VInt vaddr ], _ ->
+      ignore
+        (Tracker.add tr sim ~state:"mapped"
+           ~meta:[ ("vaddr", Comp.VInt vaddr) ]
+           ~epoch vaddr)
+  | "mman_alias_page", [ Comp.VInt svaddr; Comp.VInt dst; Comp.VInt dvaddr ], _
+    ->
+      ignore
+        (Tracker.add tr sim
+           ~parent:(Tracker.Local svaddr)
+           ~state:"aliased"
+           ~meta:
+             [
+               ("svaddr", Comp.VInt svaddr);
+               ("dst", Comp.VInt dst);
+               ("dvaddr", Comp.VInt dvaddr);
+             ]
+           ~epoch
+           (alias_id ~dst ~dvaddr))
+  | "mman_release_page", [ Comp.VInt vaddr ], _ ->
+      (* recursive revocation: the whole tracked subtree is gone (C_dr) *)
+      let rec kill id =
+        List.iter (fun c -> kill c.Tracker.d_id) (Tracker.children tr id);
+        match Tracker.find tr id with
+        | Some d -> d.Tracker.d_live <- false
+        | None -> ()
+      in
+      kill vaddr
+  | _ -> ()
+
+let walk _sim wctx d =
+  match Tracker.meta_int d "dvaddr" with
+  | None ->
+      (* root mapping: replay the grant; the manager adopts the PTE that
+         survived the reboot, keeping the same frame *)
+      let vaddr = Option.value (Tracker.meta_int d "vaddr") ~default:d.Tracker.d_id in
+      ignore (wctx.Cstub.w_invoke "mman_get_page" [ Comp.VInt vaddr ])
+  | Some dvaddr ->
+      (* alias: its source mapping must exist first (D1) *)
+      let svaddr = wctx.Cstub.w_parent_id d in
+      let dst = Option.value (Tracker.meta_int d "dst") ~default:0 in
+      ignore
+        (wctx.Cstub.w_invoke "mman_alias_page"
+           [ Comp.VInt svaddr; Comp.VInt dst; Comp.VInt dvaddr ])
+
+let client_config () =
+  {
+    Cstub.cfg_iface = Mm.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = true;
+    cfg_virtual_create = (fun _ -> false);
+    cfg_terminate_fns = [ "mman_release_page" ];
+    cfg_track = track;
+    cfg_walk = walk;
+  }
+
+let server_config () =
+  {
+    Serverstub.ss_iface = Mm.iface;
+    ss_global = false;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (fun _ -> None);
+    ss_create_fns = [ "mman_get_page"; "mman_alias_page" ];
+    ss_create_meta = (fun _ _ _ -> []);
+    ss_boot_init = Serverstub.no_boot_init;
+  }

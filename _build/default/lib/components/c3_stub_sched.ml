@@ -1,0 +1,76 @@
+(* Hand-written C³ interface stub for the scheduler component.
+
+   This is the error-prone manual code SuperGlue replaces with a
+   declarative specification (idl/sched.sgidl): the descriptor is the
+   thread id, the tracked data is the priority, and the recovery walk
+   re-registers the thread with the rebooted scheduler; a thread whose
+   tracked state was "blocked" then re-blocks by replaying its own
+   interrupted sched_blk invocation. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+let desc_arg = function
+  | "sched_create" | "sched_blk" | "sched_wakeup" | "sched_exit" -> Some 0
+  | _ -> None
+
+let track sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "sched_create", [ Comp.VInt tid; Comp.VInt prio ], _ ->
+      ignore
+        (Tracker.add tr sim ~state:"ready"
+           ~meta:[ ("prio", Comp.VInt prio) ]
+           ~epoch tid)
+  | "sched_blk", [ Comp.VInt tid ], _ -> (
+      (* a completed block has consumed any pending wakeup *)
+      match Tracker.find tr tid with
+      | Some d -> Tracker.set_state tr sim d "ready"
+      | None -> ())
+  | "sched_wakeup", [ Comp.VInt tid ], _ -> (
+      (* the target thread now owns a delivered or latched wakeup *)
+      match Tracker.find tr tid with
+      | Some d -> Tracker.set_state tr sim d "woken"
+      | None -> ())
+  | "sched_exit", [ Comp.VInt tid ], _ -> (
+      match Tracker.find tr tid with
+      | Some d -> d.Tracker.d_live <- false
+      | None -> ())
+  | _ -> ()
+
+let walk _sim wctx d =
+  (* re-register the thread (ids are kernel-stable); if it owned an
+     undelivered wakeup, re-latch it — losing the latch would strand the
+     thread in its next block *)
+  let prio = Option.value (Tracker.meta_int d "prio") ~default:10 in
+  ignore
+    (wctx.Cstub.w_invoke "sched_create"
+       [ Comp.VInt d.Tracker.d_id; Comp.VInt prio ]);
+  if d.Tracker.d_state = "woken" then
+    ignore (wctx.Cstub.w_invoke "sched_wakeup" [ Comp.VInt d.Tracker.d_id ])
+
+let client_config () =
+  {
+    Cstub.cfg_iface = Sched.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = false;
+    cfg_virtual_create = (fun _ -> false);
+    cfg_terminate_fns = [ "sched_exit" ];
+    cfg_track = track;
+    cfg_walk = walk;
+  }
+
+let server_config () =
+  {
+    Serverstub.ss_iface = Sched.iface;
+    ss_global = false;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (fun _ -> None);
+    ss_create_fns = [ "sched_create" ];
+    ss_create_meta = (fun _ _ _ -> []);
+    ss_boot_init = Sched.boot_init_t0;
+  }

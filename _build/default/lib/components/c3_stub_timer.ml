@@ -1,0 +1,58 @@
+(* Hand-written C³ interface stub for the timer manager.
+
+   Descriptor: the timer id (remapped on recovery); tracked data: the
+   period. A recovered periodic timer restarts its phase at recovery
+   time, preserving the period. *)
+
+module Comp = Sg_os.Comp
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+let desc_arg = function "timer_wait" | "timer_free" -> Some 0 | _ -> None
+
+let track sim tr ~epoch fn args ret =
+  match (fn, args, ret) with
+  | "timer_create", [ Comp.VInt period ], Comp.VInt id ->
+      ignore
+        (Tracker.add tr sim ~state:"armed"
+           ~meta:[ ("period", Comp.VInt period) ]
+           ~epoch id)
+  | "timer_wait", [ Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> Tracker.set_state tr sim d "armed"
+      | None -> ())
+  | "timer_free", [ Comp.VInt id ], _ -> (
+      match Tracker.find tr id with
+      | Some d -> d.Tracker.d_live <- false
+      | None -> ())
+  | _ -> ()
+
+let walk _sim wctx d =
+  let period = Option.value (Tracker.meta_int d "period") ~default:1_000_000 in
+  let id = Comp.int_exn (wctx.Cstub.w_invoke "timer_create" [ Comp.VInt period ]) in
+  d.Tracker.d_server_id <- id
+
+let client_config () =
+  {
+    Cstub.cfg_iface = Timer.iface;
+    cfg_mode = `Ondemand;
+    cfg_desc_arg = desc_arg;
+    cfg_parent_arg = (fun _ -> None);
+    cfg_d0_children = false;
+    cfg_virtual_create = (fun fn -> fn = "timer_create");
+    cfg_terminate_fns = [ "timer_free" ];
+    cfg_track = track;
+    cfg_walk = walk;
+  }
+
+let server_config () =
+  {
+    Serverstub.ss_iface = Timer.iface;
+    ss_global = false;
+    ss_desc_arg = desc_arg;
+    ss_parent_arg = (fun _ -> None);
+    ss_create_fns = [ "timer_create" ];
+    ss_create_meta = (fun _ _ _ -> []);
+    ss_boot_init = Timer.boot_init_t0;
+  }

@@ -1,0 +1,32 @@
+(** The event notification component.
+
+    The paper's fully worked IDL example (Fig 3): events live in a single
+    *global* namespace — a descriptor created by one component is waited
+    on and triggered from others — which makes this the service that
+    exercises every recovery mechanism except D0: on-demand state-machine
+    walks (R0/T1), eager wakeup through the scheduler (T0), parent
+    recovery across components (D1/XCParent), the storage-component
+    creator registry (G0) and upcalls into the creating client (U0).
+
+    Interface ("evt"), following Fig 3:
+    - [evt_split(compid, parent_evtid, grp)] → evtid   (I^create)
+    - [evt_wait(compid, evtid)]                        (I^block)
+    - [evt_trigger(compid, evtid)]                     (I^wakeup)
+    - [evt_free(compid, evtid)]                        (I^terminate)
+
+    A trigger with no waiter is remembered (counting semantics), so the
+    trigger/wait race during recovery is benign. *)
+
+val iface : string
+val spec : sched_port:Sg_os.Port.t option ref -> unit -> Sg_os.Sim.spec
+
+val boot_init_t0 :
+  sched_port:Sg_os.Port.t option ref -> Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
+
+val split :
+  Sg_os.Port.t -> Sg_os.Sim.t -> compid:int -> parent:int -> grp:int -> int
+(** [parent = 0] means no parent. *)
+
+val wait : Sg_os.Port.t -> Sg_os.Sim.t -> compid:int -> int -> unit
+val trigger : Sg_os.Port.t -> Sg_os.Sim.t -> compid:int -> int -> unit
+val free : Sg_os.Port.t -> Sg_os.Sim.t -> compid:int -> int -> unit

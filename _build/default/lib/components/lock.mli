@@ -1,0 +1,33 @@
+(** The lock component (mutual exclusion service).
+
+    The paper's running example (§II-C, §III-B): clients allocate locks,
+    take, contend, release and free them. Contention blocks the calling
+    thread through the scheduler component — the lock's server in the
+    component dependency graph — so a fault in the lock leaves threads
+    blocked *through* it, and recovery must wake them via
+    [I^wakeup] of the recovering server's server (T0).
+
+    Interface ("lock"):
+    - [lock_alloc()]        → lock id            (I^create)
+    - [lock_take(id)]       — acquire, may block (I^block)
+    - [lock_release(id)]    — release, wakes one (I^wakeup)
+    - [lock_free(id)]       — destroy            (I^terminate)
+
+    State machine (Fig 2 bottom / §III-B): available → taken → available,
+    with the blocked path folded into [lock_take]. *)
+
+val iface : string
+
+val spec : sched_port:Sg_os.Port.t option ref -> unit -> Sg_os.Sim.spec
+(** The scheduler port is a cell because the lock's own client stub for
+    the scheduler can only be built once the lock has a component id. *)
+
+val boot_init_t0 :
+  sched_port:Sg_os.Port.t option ref -> Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
+(** T0: wake every thread blocked through the lock by invoking
+    [sched_wakeup] on the scheduler, the lock's server. *)
+
+val alloc : Sg_os.Port.t -> Sg_os.Sim.t -> int
+val take : Sg_os.Port.t -> Sg_os.Sim.t -> int -> unit
+val release : Sg_os.Port.t -> Sg_os.Sim.t -> int -> unit
+val free : Sg_os.Port.t -> Sg_os.Sim.t -> int -> unit

@@ -1,0 +1,34 @@
+(** The memory manager component.
+
+    Tracks virtual-to-physical mappings in alias trees rooted at physical
+    frames, with an API close to the recursive address space model (paper
+    §II-D): [mman_get_page] creates a root mapping, [mman_alias_page]
+    shares a page into another component as a child mapping, and
+    [mman_release_page] revokes a mapping and its whole subtree
+    (recursive revocation — the C_dr/D0 case).
+
+    The hardware page tables live in the trusted kernel and survive a
+    micro-reboot; only the manager's alias trees are lost. Recovery
+    therefore *reflects on the component-kernel interface*: when a client
+    stub replays a create/alias for a page whose kernel PTE still exists,
+    the manager adopts the installed mapping instead of allocating a new
+    frame, so physical memory contents are preserved across recovery.
+
+    Interface ("mm") — the caller is implicit (the invoking client):
+    - [mman_get_page(vaddr)]                       → vaddr  (I^create)
+    - [mman_alias_page(svaddr, dst_cid, dvaddr)]   → dvaddr (I^create)
+    - [mman_release_page(vaddr)] → #revoked                 (I^terminate)
+
+    Descriptors are (component, vaddr) pairs; aliases depend on their
+    source mapping (P_dr), and the dependency can span components. *)
+
+val iface : string
+val spec : unit -> Sg_os.Sim.spec
+
+val page_size : int
+
+val get_page : Sg_os.Port.t -> Sg_os.Sim.t -> vaddr:int -> unit
+val alias_page :
+  Sg_os.Port.t -> Sg_os.Sim.t -> svaddr:int -> dst:Sg_os.Comp.cid -> dvaddr:int -> unit
+val release_page : Sg_os.Port.t -> Sg_os.Sim.t -> vaddr:int -> int
+(** Returns the number of mappings revoked (the subtree size). *)

@@ -1,0 +1,40 @@
+(** The RAM file system component.
+
+    A path-named in-memory file system with the torrent-style interface
+    of COMPOSITE: descriptors are split off a parent descriptor, read and
+    written sequentially, repositioned with lseek and released. File
+    *contents* cannot be rebuilt from descriptor state machines alone
+    (paper §II-C), so every write is mirrored — inside the same critical
+    region that mutates the file, per the paper's G1 race discussion —
+    into the storage component as ⟨id, offset, length, *data⟩ slices
+    whose [*data] are zero-copy buffers. On recovery, recreating a
+    descriptor for a path whose file is missing restores the contents
+    from those slices.
+
+    Interface ("fs"):
+    - [tsplit(parent_fd, name)] → fd      (I^create; fd 0 is the root)
+    - [tread(fd, len)]          → data    (advances the offset)
+    - [twrite(fd, data)]        → #bytes  (advances the offset)
+    - [tlseek(fd, off)]         → off
+    - [trelease(fd)]                      (I^terminate)
+
+    Descriptor data [D_dr]: the path (derived from the parent's path and
+    the split name) and the offset, updated from read/write return
+    values — exactly the paper's FS tracking example. *)
+
+val iface : string
+
+val spec :
+  cbufs:Sg_cbuf.Cbuf.t -> storage:Sg_storage.Storage.t -> unit -> Sg_os.Sim.spec
+
+val root_fd : int
+
+val file_id : string -> int
+(** Stable identifier of a path in the storage component's "fs" space
+    (the paper's "hash on its path"). *)
+
+val tsplit : Sg_os.Port.t -> Sg_os.Sim.t -> parent:int -> name:string -> int
+val tread : Sg_os.Port.t -> Sg_os.Sim.t -> fd:int -> len:int -> string
+val twrite : Sg_os.Port.t -> Sg_os.Sim.t -> fd:int -> data:string -> int
+val tlseek : Sg_os.Port.t -> Sg_os.Sim.t -> fd:int -> off:int -> int
+val trelease : Sg_os.Port.t -> Sg_os.Sim.t -> fd:int -> unit

@@ -1,0 +1,42 @@
+(** The scheduler component.
+
+    The lowest-level system service: every other blocking service (lock,
+    event manager) depends on it to block and wake threads. Its
+    corruptible state is the per-thread bookkeeping (priority, block
+    state and wakeup latch); actual thread runnability lives in the
+    trusted kernel, which the scheduler manipulates through kernel
+    primitives — exactly the split COMPOSITE has between the user-level
+    scheduler and kernel thread structures.
+
+    Interface ("sched"):
+    - [sched_create(tid, prio)] — register a thread          (I^create)
+    - [sched_blk(tid)]          — block the calling thread   (I^block)
+    - [sched_wakeup(tid)]       — wake a thread or latch     (I^wakeup)
+    - [sched_exit(tid)]         — drop the registration      (I^terminate)
+
+    [sched_blk]/[sched_wakeup] have COMPOSITE's latch semantics: a wakeup
+    delivered to a non-blocked thread is remembered and consumes the next
+    block, so the block/wakeup race during recovery is benign.
+
+    Reflection ("blocked") enumerates the threads the kernel holds as
+    blocked — the rebooted scheduler and its clients use it to relearn
+    who must be woken (paper §III-D step 5). *)
+
+val iface : string
+val spec : unit -> Sg_os.Sim.spec
+
+val boot_init_t0 : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
+(** T0 eager recovery: wake (and thereby divert) every thread the kernel
+    reports blocked; each re-blocks on demand through its client stub. *)
+
+(** Typed client helpers over a port. *)
+
+val create : Sg_os.Port.t -> Sg_os.Sim.t -> tid:int -> prio:int -> unit
+val blk : Sg_os.Port.t -> Sg_os.Sim.t -> tid:int -> bool
+(** [true] if the thread actually blocked; [false] if a latched wakeup
+    was consumed. *)
+
+val wakeup : Sg_os.Port.t -> Sg_os.Sim.t -> tid:int -> bool
+(** [true] if a thread was woken; [false] if the wakeup was latched. *)
+
+val exit : Sg_os.Port.t -> Sg_os.Sim.t -> tid:int -> unit

@@ -1,0 +1,195 @@
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Port = Sg_os.Port
+module Cbuf = Sg_cbuf.Cbuf
+module Storage = Sg_storage.Storage
+module Tracker = Sg_c3.Tracker
+module Cstub = Sg_c3.Cstub
+module Serverstub = Sg_c3.Serverstub
+
+type stubset = {
+  st_name : string;
+  st_flavor : Tracker.flavor;
+  st_client : iface:string -> Cstub.config;
+  st_server :
+    iface:string ->
+    wakeup_dep:(Sg_os.Port.t option ref * string) option ->
+    Serverstub.config;
+}
+
+type mode = Base | Stubbed of (Storage.t -> stubset)
+
+let c3_stubset storage =
+  {
+    st_name = "c3";
+    st_flavor = Tracker.C3;
+    st_client =
+      (fun ~iface ->
+        match iface with
+        | "sched" -> C3_stub_sched.client_config ()
+        | "lock" -> C3_stub_lock.client_config ()
+        | "timer" -> C3_stub_timer.client_config ()
+        | "evt" -> C3_stub_event.client_config ~storage ()
+        | "fs" -> C3_stub_fs.client_config ()
+        | "mm" -> C3_stub_mm.client_config ()
+        | iface -> invalid_arg ("c3_stubset: unknown interface " ^ iface));
+    st_server =
+      (fun ~iface ~wakeup_dep ->
+        let sched_port =
+          match wakeup_dep with Some (cell, _) -> cell | None -> ref None
+        in
+        match iface with
+        | "sched" -> C3_stub_sched.server_config ()
+        | "lock" -> C3_stub_lock.server_config ~sched_port ()
+        | "timer" -> C3_stub_timer.server_config ()
+        | "evt" -> C3_stub_event.server_config ~sched_port ()
+        | "fs" -> C3_stub_fs.server_config ()
+        | "mm" -> C3_stub_mm.server_config ()
+        | iface -> invalid_arg ("c3_stubset: unknown interface " ^ iface));
+  }
+
+type system = {
+  sys_sim : Sim.t;
+  sys_cbufs : Cbuf.t;
+  sys_storage : Storage.t;
+  sys_mode : string;
+  sys_app1 : Comp.cid;
+  sys_app2 : Comp.cid;
+  sys_sched : Comp.cid;
+  sys_lock : Comp.cid;
+  sys_timer : Comp.cid;
+  sys_evt : Comp.cid;
+  sys_fs : Comp.cid;
+  sys_mm : Comp.cid;
+  sys_port : client:Comp.cid -> iface:string -> Port.t;
+  sys_stub : client:Comp.cid -> iface:string -> Cstub.t option;
+}
+
+let app_spec name =
+  {
+    Sim.sc_name = name;
+    sc_image_kb = 32;
+    sc_init = (fun _ _ -> ());
+    sc_boot_init = (fun _ _ -> ());
+    sc_dispatch = (fun _ _ _ _ -> Error Comp.ENOENT);
+    sc_reflect = (fun _ _ _ _ -> Error Comp.EINVAL);
+    sc_usage = (fun _ -> None);
+  }
+
+let build ?(seed = 42) ?cost mode =
+  let sim = Sim.create ?cost ~seed () in
+  let cbufs = Cbuf.create () in
+  let storage = Storage.create cbufs in
+  let stubset =
+    match mode with Base -> None | Stubbed f -> Some (f storage)
+  in
+  let app1 = Sim.register sim (app_spec "app1") in
+  let app2 = Sim.register sim (app_spec "app2") in
+  let sched_port_for_lock = ref None in
+  let sched_port_for_evt = ref None in
+  let maybe_wrap ~iface ~wakeup_dep spec =
+    match stubset with
+    | None -> spec
+    | Some ss -> Serverstub.wrap ~storage (ss.st_server ~iface ~wakeup_dep) spec
+  in
+  let sched =
+    Sim.register sim (maybe_wrap ~iface:"sched" ~wakeup_dep:None (Sched.spec ()))
+  in
+  let lock =
+    Sim.register sim
+      (maybe_wrap ~iface:"lock"
+         ~wakeup_dep:(Some (sched_port_for_lock, "sched_wakeup"))
+         (Lock.spec ~sched_port:sched_port_for_lock ()))
+  in
+  let timer =
+    Sim.register sim (maybe_wrap ~iface:"timer" ~wakeup_dep:None (Timer.spec ()))
+  in
+  let evt =
+    Sim.register sim
+      (maybe_wrap ~iface:"evt"
+         ~wakeup_dep:(Some (sched_port_for_evt, "sched_wakeup"))
+         (Event.spec ~sched_port:sched_port_for_evt ()))
+  in
+  let fs =
+    Sim.register sim
+      (maybe_wrap ~iface:"fs" ~wakeup_dep:None (Ramfs.spec ~cbufs ~storage ()))
+  in
+  let mm =
+    Sim.register sim (maybe_wrap ~iface:"mm" ~wakeup_dep:None (Mm.spec ()))
+  in
+  let iface_cid = function
+    | "sched" -> sched
+    | "lock" -> lock
+    | "timer" -> timer
+    | "evt" -> evt
+    | "fs" -> fs
+    | "mm" -> mm
+    | iface -> invalid_arg ("Sysbuild: unknown interface " ^ iface)
+  in
+  (* capability grants: applications reach every service; the lock and
+     event manager reach their server, the scheduler *)
+  List.iter
+    (fun client ->
+      List.iter
+        (fun server -> Sim.grant sim ~client ~server)
+        [ sched; lock; timer; evt; fs; mm ])
+    [ app1; app2 ];
+  Sim.grant sim ~client:lock ~server:sched;
+  Sim.grant sim ~client:evt ~server:sched;
+  (* memoized ports: one stub (hence one tracker) per client/interface *)
+  let stubs : (Comp.cid * string, Cstub.t) Hashtbl.t = Hashtbl.create 16 in
+  let port ~client ~iface =
+    let server = iface_cid iface in
+    match stubset with
+    | None -> Port.raw server
+    | Some ss ->
+        let key = (client, iface) in
+        let stub =
+          match Hashtbl.find_opt stubs key with
+          | Some s -> s
+          | None ->
+              let s =
+                Cstub.make sim ~client ~server ~flavor:ss.st_flavor
+                  (ss.st_client ~iface)
+              in
+              Hashtbl.replace stubs key s;
+              s
+        in
+        Cstub.port stub
+  in
+  (* the lock and event manager are clients of the scheduler: wire their
+     (possibly stub-interposed) ports *)
+  sched_port_for_lock := Some (port ~client:lock ~iface:"sched");
+  sched_port_for_evt := Some (port ~client:evt ~iface:"sched");
+  let stub ~client ~iface = Hashtbl.find_opt stubs (client, iface) in
+  {
+    sys_sim = sim;
+    sys_cbufs = cbufs;
+    sys_storage = storage;
+    sys_mode = (match stubset with None -> "base" | Some ss -> ss.st_name);
+    sys_app1 = app1;
+    sys_app2 = app2;
+    sys_sched = sched;
+    sys_lock = lock;
+    sys_timer = timer;
+    sys_evt = evt;
+    sys_fs = fs;
+    sys_mm = mm;
+    sys_port = port;
+    sys_stub = stub;
+  }
+
+let services sys =
+  [
+    ("sched", sys.sys_sched);
+    ("mm", sys.sys_mm);
+    ("fs", sys.sys_fs);
+    ("lock", sys.sys_lock);
+    ("evt", sys.sys_evt);
+    ("timer", sys.sys_timer);
+  ]
+
+let cid_of_iface sys iface =
+  match List.assoc_opt iface (services sys) with
+  | Some cid -> cid
+  | None -> invalid_arg ("Sysbuild.cid_of_iface: " ^ iface)

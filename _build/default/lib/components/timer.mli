@@ -1,0 +1,29 @@
+(** The timer manager component.
+
+    Provides periodic timed blocking: a thread creates a periodic timer
+    and repeatedly waits on it, sleeping until the next period boundary
+    (the paper's Timer workload: "a thread wakes up, then blocks for a
+    certain amount of time periodically", §V-B). Sleeping bottoms out in
+    the kernel clock, so — unlike lock and event — the timer does not
+    depend on the scheduler component.
+
+    Interface ("timer"):
+    - [timer_create(period_ns)] → timer id      (I^create)
+    - [timer_wait(id)]          → tick number   (I^block)
+    - [timer_free(id)]                          (I^terminate)
+
+    Descriptor data [D_dr]: the period; a recovered timer restarts its
+    phase from the recovery instant, which preserves the period but not
+    the original phase (the same holds for C³ on real hardware, where the
+    pre-fault deadline is unrecoverable). *)
+
+val iface : string
+val spec : unit -> Sg_os.Sim.spec
+
+val boot_init_t0 : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
+(** T0: wake every thread in a timed sleep inside the timer; each
+    re-waits on demand through its client stub. *)
+
+val create : Sg_os.Port.t -> Sg_os.Sim.t -> period_ns:int -> int
+val wait : Sg_os.Port.t -> Sg_os.Sim.t -> int -> int
+val free : Sg_os.Port.t -> Sg_os.Sim.t -> int -> unit

@@ -1,0 +1,266 @@
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+
+let all_ifaces = [ "sched"; "mm"; "fs"; "lock"; "evt"; "timer" ]
+
+(* Two threads ping-pong, blocking and waking each other in turn. *)
+let setup_sched sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app = sys.Sysbuild.sys_app1 in
+  let port = sys.Sysbuild.sys_port ~client:app ~iface:"sched" in
+  let a_blocks = ref 0 and b_blocks = ref 0 in
+  let tid_a = ref 0 and tid_b = ref 0 in
+  tid_a :=
+    Sim.spawn sim ~prio:5 ~name:"ping" ~home:app (fun sim ->
+        Sched.create port sim ~tid:!tid_a ~prio:5;
+        for _ = 1 to iters do
+          ignore (Sched.blk port sim ~tid:!tid_a);
+          incr a_blocks;
+          ignore (Sched.wakeup port sim ~tid:!tid_b)
+        done);
+  tid_b :=
+    Sim.spawn sim ~prio:5 ~name:"pong" ~home:app (fun sim ->
+        Sched.create port sim ~tid:!tid_b ~prio:5;
+        for _ = 1 to iters do
+          ignore (Sched.wakeup port sim ~tid:!tid_a);
+          ignore (Sched.blk port sim ~tid:!tid_b);
+          incr b_blocks
+        done);
+  fun () ->
+    List.concat
+      [
+        (if !a_blocks <> iters then
+           [ Printf.sprintf "sched: ping completed %d/%d blocks" !a_blocks iters ]
+         else []);
+        (if !b_blocks <> iters then
+           [ Printf.sprintf "sched: pong completed %d/%d blocks" !b_blocks iters ]
+         else []);
+      ]
+
+(* Pages granted, aliased into a different component, then revoked. *)
+let setup_mm sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
+  let port = sys.Sysbuild.sys_port ~client:app1 ~iface:"mm" in
+  let revoked = ref 0 in
+  let errors = ref [] in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"mm-wl" ~home:app1 (fun sim ->
+        for i = 1 to iters do
+          let v = 0x1000 * i * 2 in
+          let v2 = v + 0x1000 in
+          Mm.get_page port sim ~vaddr:v;
+          Mm.alias_page port sim ~svaddr:v ~dst:app2 ~dvaddr:v2;
+          let n = Mm.release_page port sim ~vaddr:v in
+          revoked := !revoked + n;
+          if n <> 2 then
+            errors :=
+              Printf.sprintf "mm: iteration %d revoked %d mappings, expected 2" i n
+              :: !errors
+        done)
+  in
+  fun () ->
+    let kernel = Sim.kernel sim in
+    let residual cid =
+      List.length (Sg_kernel.Frames.mappings_of kernel.Sg_kernel.Kernel.frames ~cid)
+    in
+    List.concat
+      [
+        !errors;
+        (if !revoked <> 2 * iters then
+           [ Printf.sprintf "mm: revoked %d mappings, expected %d" !revoked (2 * iters) ]
+         else []);
+        (if residual app1 <> 0 then
+           [ Printf.sprintf "mm: %d residual kernel mappings in app1" (residual app1) ]
+         else []);
+        (if residual app2 <> 0 then
+           [ Printf.sprintf "mm: %d residual kernel mappings in app2" (residual app2) ]
+         else []);
+      ]
+
+(* A file is opened, a byte written to it, read from it, then closed. *)
+let setup_fs sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app = sys.Sysbuild.sys_app1 in
+  let port = sys.Sysbuild.sys_port ~client:app ~iface:"fs" in
+  let good = ref 0 in
+  let errors = ref [] in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"fs-wl" ~home:app (fun sim ->
+        for i = 1 to iters do
+          let fd = Ramfs.tsplit port sim ~parent:Ramfs.root_fd ~name:"bench.dat" in
+          let byte = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) in
+          ignore (Ramfs.twrite port sim ~fd ~data:byte);
+          ignore (Ramfs.tlseek port sim ~fd ~off:0);
+          let back = Ramfs.tread port sim ~fd ~len:1 in
+          if back = byte then incr good
+          else
+            errors :=
+              Printf.sprintf "fs: iteration %d read %S, expected %S" i back byte
+              :: !errors;
+          Ramfs.trelease port sim ~fd
+        done)
+  in
+  fun () ->
+    List.concat
+      [
+        !errors;
+        (if !good <> iters then
+           [ Printf.sprintf "fs: %d/%d read-backs verified" !good iters ]
+         else []);
+      ]
+
+(* One thread holds a lock another contends; mutual exclusion monitored. *)
+let setup_lock sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app = sys.Sysbuild.sys_app1 in
+  let port = sys.Sysbuild.sys_port ~client:app ~iface:"lock" in
+  let lock_id = ref None in
+  let in_cs = ref 0 in
+  let violations = ref [] in
+  let completed = ref 0 in
+  let contender name =
+    Sim.spawn sim ~prio:5 ~name ~home:app (fun sim ->
+        let rec get_lock () =
+          match !lock_id with
+          | Some id -> id
+          | None ->
+              Sim.yield sim;
+              get_lock ()
+        in
+        let id =
+          match !lock_id with
+          | Some id -> id
+          | None ->
+              let id = Lock.alloc port sim in
+              lock_id := Some id;
+              id
+        in
+        ignore (get_lock ());
+        for _ = 1 to iters do
+          Lock.take port sim id;
+          incr in_cs;
+          if !in_cs <> 1 then
+            violations :=
+              Printf.sprintf "lock: %d threads in the critical section" !in_cs
+              :: !violations;
+          Sim.yield sim;  (* hold the lock across a reschedule *)
+          decr in_cs;
+          Lock.release port sim id;
+          Sim.yield sim
+        done;
+        incr completed)
+  in
+  let _ = contender "holder" in
+  let _ = contender "contender" in
+  fun () ->
+    List.concat
+      [
+        !violations;
+        (if !completed <> 2 then
+           [ Printf.sprintf "lock: %d/2 threads completed" !completed ]
+         else []);
+      ]
+
+(* A thread blocks on an event that a thread in a different component
+   triggers; the event's parent was created by the first component. *)
+let setup_evt sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
+  let port1 = sys.Sysbuild.sys_port ~client:app1 ~iface:"evt" in
+  let port2 = sys.Sysbuild.sys_port ~client:app2 ~iface:"evt" in
+  let parent_id = ref None in
+  let child_id = ref None in
+  let waits = ref 0 and triggers = ref 0 in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"evt-waiter" ~home:app2 (fun sim ->
+        let parent =
+          let rec get () =
+            match !parent_id with
+            | Some id -> id
+            | None ->
+                Sim.yield sim;
+                get ()
+          in
+          get ()
+        in
+        (* the child event's parent descriptor was created by app1: a
+           cross-component dependency (XCParent) *)
+        let child = Event.split port2 sim ~compid:app2 ~parent ~grp:1 in
+        child_id := Some child;
+        for _ = 1 to iters do
+          Event.wait port2 sim ~compid:app2 child;
+          incr waits
+        done;
+        Event.free port2 sim ~compid:app2 child)
+  in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"evt-trigger" ~home:app1 (fun sim ->
+        parent_id := Some (Event.split port1 sim ~compid:app1 ~parent:0 ~grp:1);
+        let child =
+          let rec get () =
+            match !child_id with
+            | Some id -> id
+            | None ->
+                Sim.yield sim;
+                get ()
+          in
+          get ()
+        in
+        for _ = 1 to iters do
+          (* trigger from a different component than the creator *)
+          Event.trigger port1 sim ~compid:app1 child;
+          Sim.yield sim
+        done;
+        incr triggers;
+        Event.free port1 sim ~compid:app1 (Option.get !parent_id))
+  in
+  fun () ->
+    List.concat
+      [
+        (if !waits <> iters then
+           [ Printf.sprintf "evt: waiter completed %d/%d waits" !waits iters ]
+         else []);
+        (if !triggers <> 1 then [ "evt: trigger thread did not complete" ] else []);
+      ]
+
+(* A thread wakes up, then blocks for a certain amount of time,
+   periodically. *)
+let setup_timer sys ~iters =
+  let sim = sys.Sysbuild.sys_sim in
+  let app = sys.Sysbuild.sys_app1 in
+  let port = sys.Sysbuild.sys_port ~client:app ~iface:"timer" in
+  let period_ns = 200_000 in
+  let ticks = ref 0 in
+  let start_ns = ref 0 and end_ns = ref 0 in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"timer-wl" ~home:app (fun sim ->
+        start_ns := Sim.now sim;
+        let id = Timer.create port sim ~period_ns in
+        for _ = 1 to iters do
+          ignore (Timer.wait port sim id);
+          incr ticks
+        done;
+        end_ns := Sim.now sim;
+        Timer.free port sim id)
+  in
+  fun () ->
+    List.concat
+      [
+        (if !ticks <> iters then
+           [ Printf.sprintf "timer: %d/%d periods elapsed" !ticks iters ]
+         else []);
+        (if !end_ns - !start_ns < period_ns then
+           [ "timer: virtual time did not advance by a period" ]
+         else []);
+      ]
+
+let setup sys ~iface ~iters =
+  match iface with
+  | "sched" -> setup_sched sys ~iters
+  | "mm" -> setup_mm sys ~iters
+  | "fs" -> setup_fs sys ~iters
+  | "lock" -> setup_lock sys ~iters
+  | "evt" -> setup_evt sys ~iters
+  | "timer" -> setup_timer sys ~iters
+  | _ -> invalid_arg ("Workloads.setup: unknown interface " ^ iface)

@@ -1,0 +1,32 @@
+(** The six benchmark workloads of the paper's evaluation (§V-B), with
+    machine-checked postconditions.
+
+    Each setup spawns the workload's threads into the system's simulator
+    and returns a postcondition check to be evaluated after {!Sg_os.Sim.run}
+    returns: the check yields the list of violated invariants (empty for
+    a correct execution). The fault-injection campaign defines a
+    *successful recovery* as "continued execution that abides by the
+    target component and workload specifications post-recovery" — i.e.
+    the run completes and the check comes back empty.
+
+    - [sched]: two threads ping-pong, blocking and waking each other with
+      [sched_blk]/[sched_wakeup];
+    - [mm]: a thread is granted pages, aliases them into a different
+      component, and revokes them (removing all aliases);
+    - [fs]: a file is opened, a byte written, read back and closed;
+    - [lock]: one thread holds a lock another contends; release hands it
+      over — with a mutual-exclusion monitor on the critical section;
+    - [evt]: a thread blocks waiting for an event that a thread in a
+      *different component* triggers (the event's parent was created by
+      yet another component, exercising the cross-component dependency);
+    - [timer]: a thread wakes up then blocks for a period, repeatedly. *)
+
+val setup :
+  Sysbuild.system -> iface:string -> iters:int -> unit -> string list
+(** [setup sys ~iface ~iters] spawns the workload for the named service
+    and returns its postcondition check. Raises [Invalid_argument] for an
+    unknown interface. *)
+
+val all_ifaces : string list
+(** The six services, in the paper's order:
+    sched, mm, fs, lock, evt, timer. *)

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Compiler List Printf String Templates

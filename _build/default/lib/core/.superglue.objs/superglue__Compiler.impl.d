@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Ast Buffer Filename Fun Hashtbl Ir Lexer List Machine Model Parser Printf Specs String

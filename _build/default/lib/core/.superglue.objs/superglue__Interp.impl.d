@@ -1,0 +1,1 @@
+lib/core/interp.ml: Ast Hashtbl Ir List Machine Model Option Sg_c3 Sg_kernel Sg_os Sg_storage String

@@ -1,0 +1,1 @@
+lib/core/interp.mli: Ir Sg_c3 Sg_os Sg_storage

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Ast List Model Printf String

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Ast Buffer Hashtbl Ir List Printf Queue String

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Ast Fun Lexer List Printf String

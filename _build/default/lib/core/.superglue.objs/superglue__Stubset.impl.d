@@ -1,0 +1,1 @@
+lib/core/stubset.ml: Compiler Interp Sg_c3 Sg_components

@@ -1,0 +1,1 @@
+lib/core/stubset.mli: Compiler Sg_components Sg_storage

@@ -1,0 +1,1 @@
+lib/core/templates.ml: Ast Buffer Hashtbl Ir List Machine Model Option Printf String

@@ -1,0 +1,40 @@
+type global_kv = { gk_key : string; gk_value : string; gk_line : int }
+
+type sm_decl =
+  | Transition of string * string
+  | Creation of string
+  | Terminal of string
+  | Block of string
+  | Block_hold of string
+  | Wakeup of string
+
+type param_attr =
+  | APlain
+  | ADesc
+  | ADescData
+  | AParentDesc
+  | ADescDataParent
+  | ADescNs
+
+type param = { pa_attr : param_attr; pa_type : string; pa_name : string }
+
+type retval_annot = {
+  ra_kind : [ `Set | `Accum ];
+  ra_type : string;
+  ra_name : string;
+}
+
+type fndecl = {
+  fd_ret : string option;
+  fd_name : string;
+  fd_params : param list;
+  fd_retval : retval_annot option;
+  fd_line : int;
+}
+
+type item =
+  | Global of global_kv list
+  | Sm of sm_decl * int
+  | Fn of fndecl
+
+type t = item list

@@ -1,0 +1,55 @@
+(** Abstract syntax of a SuperGlue interface specification (paper
+    Table I / Fig 3). *)
+
+type global_kv = { gk_key : string; gk_value : string; gk_line : int }
+
+type sm_decl =
+  | Transition of string * string
+  | Creation of string
+  | Terminal of string
+  | Block of string
+      (** transient synchronization block: the blocked condition is
+          released by another thread and is not replayed during walks *)
+  | Block_hold of string
+      (** state-acquiring block (e.g. [lock_take]): walks replay it so
+          the held resource state is regenerated, as in paper §II-C *)
+  | Wakeup of string
+
+type param_attr =
+  | APlain
+  | ADesc  (** [desc(...)]: the descriptor-id argument *)
+  | ADescData  (** [desc_data(...)]: tracked in the descriptor *)
+  | AParentDesc  (** [parent_desc(...)]: the parent descriptor *)
+  | ADescDataParent  (** [desc_data(parent_desc(...))] *)
+  | ADescNs
+      (** [desc_ns(...)]: namespace discriminator combined with the
+          returned id to form the tracker key (used by interfaces whose
+          descriptors are per-component names, e.g. the memory manager's
+          (component, vaddr) pairs) *)
+
+type param = { pa_attr : param_attr; pa_type : string; pa_name : string }
+
+type retval_annot = {
+  ra_kind : [ `Set | `Accum ];
+      (** [desc_data_retval] assigns; [desc_data_accum] accumulates
+          (integer returns add; string returns add their length — the
+          paper's FS offset updated "based on the return values from
+          read and write") *)
+  ra_type : string;
+  ra_name : string;
+}
+
+type fndecl = {
+  fd_ret : string option;
+  fd_name : string;
+  fd_params : param list;
+  fd_retval : retval_annot option;
+  fd_line : int;
+}
+
+type item =
+  | Global of global_kv list
+  | Sm of sm_decl * int
+  | Fn of fndecl
+
+type t = item list

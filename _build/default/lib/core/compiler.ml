@@ -1,0 +1,83 @@
+type artifact = {
+  a_name : string;
+  a_source : string;
+  a_ir : Ir.t;
+  a_machine : Machine.t;
+  a_warnings : string list;
+}
+
+exception Compile_error of string
+
+let compile ~name source =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt in
+  let ast =
+    try Parser.parse source with
+    | Lexer.Lex_error { line; message } -> fail "%s:%d: %s" name line message
+    | Parser.Parse_error { line; message } -> fail "%s:%d: %s" name line message
+  in
+  let ir =
+    try Ir.of_ast ~name ast
+    with Ir.Semantic_error msgs ->
+      fail "%s: %s" name (String.concat "; " msgs)
+  in
+  {
+    a_name = name;
+    a_source = source;
+    a_ir = ir;
+    a_machine = Machine.build ir;
+    a_warnings = Ir.warnings ir;
+  }
+
+let compile_file path =
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  compile ~name:Filename.(remove_extension (basename path)) source
+
+let builtin_names = [ "sched"; "mm"; "fs"; "lock"; "evt"; "timer" ]
+
+let builtin_source name =
+  match List.assoc_opt name Specs.files with
+  | Some src -> src
+  | None -> invalid_arg ("Compiler.builtin: unknown interface " ^ name)
+
+let builtin_cache : (string, artifact) Hashtbl.t = Hashtbl.create 8
+
+let builtin name =
+  match Hashtbl.find_opt builtin_cache name with
+  | Some a -> a
+  | None ->
+      let a = compile ~name (builtin_source name) in
+      Hashtbl.replace builtin_cache name a;
+      a
+
+(* Render the plain header obtained by nil-defining the SuperGlue
+   keywords (the paper's cpp-based first stage). *)
+let emit_header ir =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "/* interface %s: plain header (SuperGlue keywords erased) */\n"
+       ir.Ir.ir_name);
+  List.iter
+    (fun f ->
+      let params =
+        f.Ir.f_params
+        |> List.map (fun p -> p.Ast.pa_type ^ " " ^ p.Ast.pa_name)
+        |> String.concat ", "
+      in
+      let ret =
+        match (f.Ir.f_ret, f.Ir.f_retval) with
+        | Some r, _ -> r
+        | None, Some { Ast.ra_type; _ } -> ra_type
+        | None, None -> "void"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s(%s);\n" ret f.Ir.f_name
+           (if params = "" then "void" else params)))
+    ir.Ir.ir_funcs;
+  Buffer.contents buf
+
+let mechanisms a = Model.mechanisms a.a_ir.Ir.ir_model

@@ -1,0 +1,39 @@
+(** The SuperGlue compiler pipeline (paper §IV-B):
+
+    preprocess (comment stripping) → tokenize → parse → semantic
+    analysis into the descriptor-resource/state-machine IR → recovery
+    plans (shortest path to each state) → back ends: the predicate-
+    guarded template network ({!Codegen}, run twice for client and
+    server stubs) and the in-process interpreted backend ({!Interp}). *)
+
+type artifact = {
+  a_name : string;
+  a_source : string;  (** the specification text *)
+  a_ir : Ir.t;
+  a_machine : Machine.t;
+  a_warnings : string list;
+}
+
+exception Compile_error of string
+(** Wraps lexer, parser and semantic errors with the interface name. *)
+
+val compile : name:string -> string -> artifact
+val compile_file : string -> artifact
+(** The interface name is the file's basename. *)
+
+val builtin_names : string list
+(** The six system interfaces embedded at build time:
+    sched, mm, fs, lock, evt, timer. *)
+
+val builtin : string -> artifact
+(** Compiled (and memoized) embedded specification. Raises
+    [Invalid_argument] for an unknown name. *)
+
+val builtin_source : string -> string
+
+val emit_header : Ir.t -> string
+(** The paper's first pipeline stage in reverse: render the plain C
+    header that results from nil-defining every SuperGlue keyword. *)
+
+val mechanisms : artifact -> string list
+(** Recovery mechanisms selected for this interface (R0/T0/T1/...). *)

@@ -1,0 +1,227 @@
+type func = {
+  f_name : string;
+  f_ret : string option;
+  f_retval : Ast.retval_annot option;
+  f_params : Ast.param list;
+}
+
+type t = {
+  ir_name : string;
+  ir_model : Model.t;
+  ir_funcs : func list;
+  ir_creates : string list;
+  ir_terminals : string list;
+  ir_blocks : string list;
+  ir_block_holds : string list;
+  ir_wakeups : string list;
+  ir_transitions : (string * string) list;
+}
+
+exception Semantic_error of string list
+
+let func t name = List.find_opt (fun f -> f.f_name = name) t.ir_funcs
+
+let func_exn t name =
+  match func t name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir: unknown function %s" name)
+
+let index_of p params =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else go (i + 1) rest
+  in
+  go 0 params
+
+let desc_arg_index t fn =
+  match func t fn with
+  | None -> None
+  | Some f -> index_of (fun p -> p.Ast.pa_attr = Ast.ADesc) f.f_params
+
+let ns_arg_index f = index_of (fun p -> p.Ast.pa_attr = Ast.ADescNs) f.f_params
+
+let parent_arg_index f =
+  index_of
+    (fun p ->
+      match p.Ast.pa_attr with
+      | Ast.AParentDesc | Ast.ADescDataParent -> true
+      | Ast.APlain | Ast.ADesc | Ast.ADescData | Ast.ADescNs -> false)
+    f.f_params
+
+let is_create t fn = List.mem fn t.ir_creates
+let is_terminal t fn = List.mem fn t.ir_terminals
+let is_transient_block t fn = List.mem fn t.ir_blocks
+let is_wakeup t fn = List.mem fn t.ir_wakeups
+
+let is_replayable t f =
+  (not (is_transient_block t f.f_name))
+  && List.for_all (fun p -> p.Ast.pa_attr <> Ast.APlain) f.f_params
+
+let marshal_is_string ty =
+  String.exists (fun c -> c = '*') ty
+  || ty = "string"
+  || ty = "char_ptr"
+
+let bool_of kv errors =
+  match String.lowercase_ascii kv.Ast.gk_value with
+  | "true" -> true
+  | "false" -> false
+  | v ->
+      errors :=
+        Printf.sprintf "line %d: %s must be true or false, not %s" kv.Ast.gk_line
+          kv.Ast.gk_key v
+        :: !errors;
+      false
+
+let model_of_globals kvs errors =
+  List.fold_left
+    (fun m kv ->
+      match kv.Ast.gk_key with
+      | "desc_block" -> { m with Model.block = bool_of kv errors }
+      | "resc_has_data" -> { m with Model.resc_data = bool_of kv errors }
+      | "desc_is_global" -> { m with Model.global = bool_of kv errors }
+      | "desc_has_parent" -> (
+          match Model.parentage_of_string kv.Ast.gk_value with
+          | Some p -> { m with Model.parent = p }
+          | None ->
+              errors :=
+                Printf.sprintf
+                  "line %d: desc_has_parent must be solo, parent or xcparent"
+                  kv.Ast.gk_line
+                :: !errors;
+              m)
+      | "desc_close_children" -> { m with Model.close_children = bool_of kv errors }
+      | "desc_close_remove" -> { m with Model.close_remove = bool_of kv errors }
+      | "desc_has_data" -> { m with Model.desc_data = bool_of kv errors }
+      | key ->
+          errors :=
+            Printf.sprintf "line %d: unknown model key %s" kv.Ast.gk_line key
+            :: !errors;
+          m)
+    Model.default kvs
+
+let of_ast ~name ast =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let funcs =
+    List.filter_map
+      (function
+        | Ast.Fn fd ->
+            Some
+              {
+                f_name = fd.Ast.fd_name;
+                f_ret = fd.Ast.fd_ret;
+                f_retval = fd.Ast.fd_retval;
+                f_params = fd.Ast.fd_params;
+              }
+        | Ast.Global _ | Ast.Sm _ -> None)
+      ast
+  in
+  let model =
+    match
+      List.filter_map (function Ast.Global kvs -> Some kvs | _ -> None) ast
+    with
+    | [ kvs ] -> model_of_globals kvs errors
+    | [] ->
+        err "missing service_global_info block";
+        Model.default
+    | _ ->
+        err "multiple service_global_info blocks";
+        Model.default
+  in
+  let declared fn = List.exists (fun f -> f.f_name = fn) funcs in
+  let check fn line = if not (declared fn) then err "line %d: %s is not a declared function" line fn in
+  let creates = ref []
+  and terminals = ref []
+  and blocks = ref []
+  and holds = ref []
+  and wakeups = ref []
+  and transitions = ref [] in
+  List.iter
+    (function
+      | Ast.Sm (decl, line) -> (
+          match decl with
+          | Ast.Transition (a, b) ->
+              check a line;
+              check b line;
+              transitions := (a, b) :: !transitions
+          | Ast.Creation a ->
+              check a line;
+              creates := a :: !creates
+          | Ast.Terminal a ->
+              check a line;
+              terminals := a :: !terminals
+          | Ast.Block a ->
+              check a line;
+              blocks := a :: !blocks
+          | Ast.Block_hold a ->
+              check a line;
+              holds := a :: !holds
+          | Ast.Wakeup a ->
+              check a line;
+              wakeups := a :: !wakeups)
+      | Ast.Global _ | Ast.Fn _ -> ())
+    ast;
+  if !creates = [] then err "no creation function (sm_creation) declared";
+  (* I^block <> {} <-> B_r (paper SectionIII-B) *)
+  let has_block = !blocks <> [] || !holds <> [] in
+  if has_block && not model.Model.block then
+    err "blocking functions declared but desc_block = false";
+  if model.Model.block && not has_block then
+    err "desc_block = true but no blocking function declared";
+  (* every creation function needs an id source: a desc() argument or a
+     desc_data_retval annotation *)
+  List.iter
+    (fun cf ->
+      match List.find_opt (fun f -> f.f_name = cf) funcs with
+      | None -> ()
+      | Some f ->
+          let has_desc_param =
+            List.exists (fun p -> p.Ast.pa_attr = Ast.ADesc) f.f_params
+          in
+          let has_retval =
+            match f.f_retval with
+            | Some { Ast.ra_kind = `Set; _ } -> true
+            | _ -> false
+          in
+          if not (has_desc_param || has_retval) then
+            err "creation function %s has no id source (desc() argument or desc_data_retval)" cf)
+    !creates;
+  (* parents require a parentage declaration *)
+  let uses_parent =
+    List.exists
+      (fun f ->
+        List.exists
+          (fun p ->
+            match p.Ast.pa_attr with
+            | Ast.AParentDesc | Ast.ADescDataParent -> true
+            | _ -> false)
+          f.f_params)
+      funcs
+  in
+  if uses_parent && model.Model.parent = Model.Solo then
+    err "parent_desc used but desc_has_parent = solo";
+  if !errors <> [] then raise (Semantic_error (List.rev !errors));
+  {
+    ir_name = name;
+    ir_model = model;
+    ir_funcs = funcs;
+    ir_creates = List.rev !creates;
+    ir_terminals = List.rev !terminals;
+    ir_blocks = List.rev !blocks;
+    ir_block_holds = List.rev !holds;
+    ir_wakeups = List.rev !wakeups;
+    ir_transitions = List.rev !transitions;
+  }
+
+let warnings t =
+  List.filter_map
+    (fun f ->
+      if (not (is_replayable t f)) && not (is_transient_block t f.f_name) then
+        Some
+          (Printf.sprintf
+             "%s: %s has untracked arguments; its post-state is recovered by \
+              state-class collapsing"
+             t.ir_name f.f_name)
+      else None)
+    t.ir_funcs

@@ -1,0 +1,58 @@
+(** Intermediate representation: the semantic model extracted from a
+    parsed specification (paper §IV-B — "the front end extracts the
+    specifications from the abstract syntax tree into an intermediate
+    representation that encodes the resource-descriptor and state
+    machine models"). *)
+
+type func = {
+  f_name : string;
+  f_ret : string option;
+  f_retval : Ast.retval_annot option;
+  f_params : Ast.param list;
+}
+
+type t = {
+  ir_name : string;  (** interface name (and storage space) *)
+  ir_model : Model.t;
+  ir_funcs : func list;
+  ir_creates : string list;  (** I^create *)
+  ir_terminals : string list;  (** I^terminate *)
+  ir_blocks : string list;  (** I^block, transient synchronization *)
+  ir_block_holds : string list;  (** I^block, state-acquiring *)
+  ir_wakeups : string list;  (** I^wakeup *)
+  ir_transitions : (string * string) list;
+}
+
+exception Semantic_error of string list
+
+val of_ast : name:string -> Ast.t -> t
+(** Raises {!Semantic_error} with every problem found: undeclared
+    functions in state-machine declarations, a creation function without
+    an id source, a blocking interface with [desc_block = false], etc. *)
+
+val func : t -> string -> func option
+val func_exn : t -> string -> func
+
+val desc_arg_index : t -> string -> int option
+(** Position of the [desc(...)] parameter of a function. *)
+
+val ns_arg_index : func -> int option
+val parent_arg_index : func -> int option
+
+val is_create : t -> string -> bool
+val is_terminal : t -> string -> bool
+val is_transient_block : t -> string -> bool
+val is_wakeup : t -> string -> bool
+
+val is_replayable : t -> func -> bool
+(** A function is replayable during a recovery walk iff every parameter
+    can be reconstructed from tracked state (descriptor, parent,
+    namespace or [desc_data] parameters — no plain arguments) and it is
+    not a transient block. *)
+
+val marshal_is_string : string -> bool
+(** Whether a declared C type marshals as a string (pointer types). *)
+
+val warnings : t -> string list
+(** Non-fatal diagnostics, e.g. a state whose recovery walk will rely on
+    class collapsing because its function is not replayable. *)

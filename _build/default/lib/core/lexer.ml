@@ -1,0 +1,107 @@
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Equals
+  | Star
+  | Eof
+
+type located = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+let strip_comments src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let rec go i state =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      match state with
+      | `Code ->
+          if c = '/' && i + 1 < n && src.[i + 1] = '*' then go (i + 2) `Block
+          else if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) `Line
+          else begin
+            Buffer.add_char buf c;
+            go (i + 1) `Code
+          end
+      | `Block ->
+          if c = '*' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) `Code
+          else begin
+            if c = '\n' then Buffer.add_char buf '\n';
+            go (i + 1) `Block
+          end
+      | `Line ->
+          if c = '\n' then begin
+            Buffer.add_char buf '\n';
+            go (i + 1) `Code
+          end
+          else go (i + 1) `Line
+  in
+  go 0 `Code;
+  Buffer.contents buf
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let tokenize src =
+  let src = strip_comments src in
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        emit (Ident (String.sub src i (!j - i)));
+        go !j
+      end
+      else begin
+        (match c with
+        | '(' -> emit Lparen
+        | ')' -> emit Rparen
+        | '{' -> emit Lbrace
+        | '}' -> emit Rbrace
+        | ',' -> emit Comma
+        | ';' -> emit Semicolon
+        | '=' -> emit Equals
+        | '*' -> emit Star
+        | c ->
+            raise
+              (Lex_error
+                 { line = !line; message = Printf.sprintf "illegal character %C" c }));
+        go (i + 1)
+      end
+  in
+  go 0;
+  emit Eof;
+  List.rev !toks
+
+let token_to_string = function
+  | Ident s -> s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Equals -> "="
+  | Star -> "*"
+  | Eof -> "<eof>"

@@ -1,0 +1,30 @@
+(** Tokenizer for SuperGlue interface specifications.
+
+    The first compiler stage mirrors the paper's use of the C
+    preprocessor (§IV-B): comments are stripped and the specification is
+    tokenized into identifiers and punctuation. *)
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Equals
+  | Star
+  | Eof
+
+type located = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+val strip_comments : string -> string
+(** Remove [/* ... */] and [// ...] comments, preserving line numbers. *)
+
+val tokenize : string -> located list
+(** Tokenize a (comment-stripped or raw) specification; always ends with
+    an [Eof] token. Raises {!Lex_error} on an illegal character. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,54 @@
+(** Descriptor state machines and recovery-path computation (paper
+    §III-B and §IV-B: "with this representation, the shortest path
+    through the state machine is found to each state").
+
+    States are implicit, named by the last interface function applied:
+    ["s0"] and ["after:<fn>"]. Recovery must bring a descriptor from the
+    post-reboot initial state back to its tracked state by *replaying*
+    interface functions, which is only possible for functions whose
+    arguments are reconstructible from tracked data. States separated
+    only by non-replayable effects — transient blocks, whose
+    synchronization is re-established by the diverted thread's own redo,
+    and calls with untracked plain arguments, whose durable effects are
+    resource data restored through the storage component (G1) — are
+    *recovery-equivalent* and collapsed into classes. A recovery plan is
+    then the shortest replayable path from the initial class to the
+    target class, followed by the data-restoring calls (the paper's
+    "open and lseek") that reset tracked descriptor data. *)
+
+type state = string
+
+val s0 : state
+val after : string -> state
+(** ["after:<fn>"]. *)
+
+type plan = {
+  pl_path : string list;
+      (** interface functions to replay, in order (R0 walk) *)
+  pl_restore : string list;
+      (** data-restoring functions appended to the walk *)
+}
+
+type t
+
+val build : Ir.t -> t
+
+val sigma : t -> state -> string -> state option
+(** The transition function σ: next state after calling the function in
+    the given state; [None] if the transition is invalid (used for the
+    fault-detection check the paper motivates in §III-B). *)
+
+val states : t -> state list
+(** All states, [s0] first. *)
+
+val same_class : t -> state -> state -> bool
+(** Whether two states are recovery-equivalent. *)
+
+val plan : t -> state -> plan
+(** The precomputed recovery plan for a tracked state. Unknown states
+    (never produced by tracking) fall back to the shortest creation. *)
+
+val to_dot : t -> string
+(** Render the state machine as Graphviz DOT: solid edges are interface
+    transitions, state labels carry their recovery plans — the textual
+    equivalent of the paper's Fig 2 bottom diagrams. *)

@@ -1,0 +1,54 @@
+type parentage = Solo | Parent | XCParent
+
+type t = {
+  block : bool;
+  resc_data : bool;
+  global : bool;
+  parent : parentage;
+  close_children : bool;
+  close_remove : bool;
+  desc_data : bool;
+}
+
+let default =
+  {
+    block = false;
+    resc_data = false;
+    global = false;
+    parent = Solo;
+    close_children = false;
+    close_remove = true;
+    desc_data = false;
+  }
+
+let parentage_of_string s =
+  match String.lowercase_ascii s with
+  | "solo" -> Some Solo
+  | "parent" -> Some Parent
+  | "xcparent" -> Some XCParent
+  | _ -> None
+
+let parentage_to_string = function
+  | Solo -> "Solo"
+  | Parent -> "Parent"
+  | XCParent -> "XCParent"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{ block=%b; resc_data=%b; global=%b; parent=%s; close_children=%b; \
+     close_remove=%b; desc_data=%b }"
+    t.block t.resc_data t.global
+    (parentage_to_string t.parent)
+    t.close_children t.close_remove t.desc_data
+
+(* The model-to-mechanism mapping of paper §III-C. *)
+let mechanisms t =
+  List.concat
+    [
+      [ "R0"; "T1" ];
+      (if t.block then [ "T0" ] else []);
+      (if t.close_children && t.parent <> Solo then [ "D0" ] else []);
+      (if t.parent <> Solo then [ "D1" ] else []);
+      (if t.global then [ "G0"; "U0" ] else []);
+      (if t.resc_data then [ "G1" ] else []);
+    ]

@@ -1,0 +1,34 @@
+(** The descriptor-resource model (paper §III-A).
+
+    [DR = (B_r, D_r, G_dr, P_dr, C_dr, Y_dr, D_dr)] — the declarative
+    properties of an interface from which the compiler selects recovery
+    mechanisms: eager vs on-demand timing (T0/T1), dependency ordering
+    (D0/D1), storage-component involvement (G0/G1) and upcalls (U0). *)
+
+type parentage =
+  | Solo  (** no inter-descriptor dependencies *)
+  | Parent  (** creation takes another descriptor as argument *)
+  | XCParent  (** the parent/child relationship can span components *)
+
+type t = {
+  block : bool;  (** B_r: a thread can block while accessing the service *)
+  resc_data : bool;  (** D_r: the resource has data (G1 via storage) *)
+  global : bool;  (** G_dr: descriptors globally addressable (G0/U0) *)
+  parent : parentage;  (** P_dr *)
+  close_children : bool;  (** C_dr: closing deletes the child subtree *)
+  close_remove : bool;  (** Y_dr: closing deletes the stub tracking data *)
+  desc_data : bool;  (** D_dr: descriptors carry recovery data *)
+}
+
+val default : t
+(** All-false, [Solo] — the model of a stateless interface. *)
+
+val parentage_of_string : string -> parentage option
+val parentage_to_string : parentage -> string
+val pp : Format.formatter -> t -> unit
+
+val mechanisms : t -> string list
+(** The recovery mechanisms this model maps to, by the paper's names
+    (always R0/T1; plus T0, D0, D1, G0, G1, U0 as selected by §III-C).
+    This drives the template predicates and is reported by the
+    compiler's diagnostics. *)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for SuperGlue specifications.
+
+    The paper's front end reuses pycparser on a preprocessed header; this
+    sealed environment has no C parser, so the grammar of Table I/Fig 3
+    is parsed directly (see DESIGN.md §5). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Ast.t
+(** Parse a specification from source text. Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_file : string -> Ast.t

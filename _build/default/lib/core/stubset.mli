@@ -1,0 +1,25 @@
+(** The SuperGlue stub set: compiler-produced stubs for the six system
+    interfaces, pluggable into {!Sg_components.Sysbuild}.
+
+    This is the paper's deliverable in runnable form — where the C³
+    configuration wires hand-written stub modules, this wires the
+    configurations the SuperGlue compiler derives from the declarative
+    .sgidl specifications, charged at the SuperGlue tracking cost. *)
+
+val stubset : Sg_storage.Storage.t -> Sg_components.Sysbuild.stubset
+
+val mode : Sg_components.Sysbuild.mode
+(** [Stubbed stubset] — pass to {!Sg_components.Sysbuild.build}. *)
+
+val stubset_eager : Sg_storage.Storage.t -> Sg_components.Sysbuild.stubset
+(** Ablation variant: on a fault, every tracked descriptor of the client
+    interface is recovered immediately at the faulting thread's priority,
+    instead of lazily at each accessor's own priority (T1). The paper's
+    timing discussion (§III-C, citing the C³ schedulability analysis)
+    argues on-demand recovery properly prioritizes recovery work; the
+    [ablation] benchmark quantifies the interference difference. *)
+
+val mode_eager : Sg_components.Sysbuild.mode
+
+val artifact : string -> Compiler.artifact
+(** The compiled artifact behind an interface's stubs. *)

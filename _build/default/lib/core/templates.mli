@@ -1,0 +1,30 @@
+(** The template network of the SuperGlue back end (paper §IV-B).
+
+    "The back end is implemented as a network of templates associated
+    with predicates. The templates implement the logic of the recovery
+    mechanisms ... Templates are only included in the generated code if
+    the predicate evaluates to true given the intermediate
+    representation of the models. The back-end is executed twice with
+    two different sets of template inputs, once to generate the client
+    stub, and one to generate the server."
+
+    Each catalogue entry pairs a predicate over the IR with an emitter
+    producing an OCaml code fragment. {!Codegen} runs the catalogue in
+    order for each side and concatenates the applicable fragments. *)
+
+type side = Client | Server
+
+type entry = {
+  e_name : string;  (** e.g. "client/track/create-retval-id" *)
+  e_side : side;
+  e_pred : Ir.t -> bool;
+  e_emit : Ir.t -> string;
+}
+
+val catalogue : entry list
+(** The ordered template-predicate network. *)
+
+val applicable : Ir.t -> side -> entry list
+
+val count : int
+(** Size of the catalogue (the paper's compiler had 72 pairs). *)

@@ -1,0 +1,1 @@
+lib/genstubs/gen_stubset.ml: Sg_c3 Sg_components Sg_gen_evt Sg_gen_fs Sg_gen_lock Sg_gen_mm Sg_gen_sched Sg_gen_timer

@@ -1,0 +1,1 @@
+lib/genstubs/sg_gen_fs.ml: Sg_c3 Sg_os Sg_storage String

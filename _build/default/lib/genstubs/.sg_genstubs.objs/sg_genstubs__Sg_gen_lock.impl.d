@@ -1,0 +1,1 @@
+lib/genstubs/sg_gen_lock.ml: List Sg_c3 Sg_kernel Sg_os Sg_storage

@@ -1,0 +1,1 @@
+lib/genstubs/sg_gen_mm.ml: List Sg_c3 Sg_os Sg_storage

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Format List Option Printf Sg_c3 Sg_components Sg_kernel Sg_os Sg_util Superglue

@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Filename Format Fun List Paper Printf Sg_c3 Sg_components Sg_kernel Sg_os Sg_util String Superglue Sys

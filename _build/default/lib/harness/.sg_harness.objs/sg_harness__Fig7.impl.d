@@ -1,0 +1,1 @@
+lib/harness/fig7.ml: List Printf Sg_components Sg_os Sg_util Sg_web Superglue

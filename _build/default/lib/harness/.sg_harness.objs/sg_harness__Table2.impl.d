@@ -1,0 +1,1 @@
+lib/harness/table2.ml: List Paper Printf Sg_components Sg_swifi Sg_util Superglue

@@ -1,0 +1,24 @@
+(** Ablation: eager vs on-demand descriptor recovery (paper §III-C,
+    T0/T1, citing C³'s schedulability analysis).
+
+    A client holds many tracked descriptors; after a fault, its next
+    access to a *single* descriptor is measured. With on-demand recovery
+    (T1) only that descriptor's walk runs — recovery executes at the
+    priority, and on the time account, of the thread that actually needs
+    the state. With eager recovery the fault time is when *every*
+    descriptor is recovered, so the first accessor absorbs the whole
+    interface's recovery as interference. *)
+
+type row = {
+  a_descriptors : int;  (** tracked descriptors at fault time *)
+  a_mode : string;  (** "on-demand" or "eager" *)
+  a_first_access_us : float;
+      (** virtual µs from the first post-fault access to its return *)
+  a_walks_at_access : int;  (** descriptor walks performed within it *)
+}
+
+val run : ?descriptors:int -> unit -> row list
+(** Measure both modes on the file system service (default: 40 open
+    descriptors plus the accessor's own). *)
+
+val print : unit -> unit

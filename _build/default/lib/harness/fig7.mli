@@ -1,0 +1,20 @@
+(** Driver regenerating Fig 7: web-server throughput for Apache (the
+    external reference model), base COMPOSITE, COMPOSITE+C³ and
+    COMPOSITE+SuperGlue, the latter two also with one system-service
+    crash injected per fault period. *)
+
+type row = {
+  w_config : string;
+  w_rps : Sg_util.Stats.summary;
+  w_slowdown_pct : float;  (** vs the fault-free base *)
+  w_faults : int;
+  w_reboots : int;
+  w_errors : int;
+}
+
+val run : ?requests:int -> ?reps:int -> ?fault_period_ns:int -> unit -> row list
+(** Defaults: 50 000 requests, concurrency 10 (fixed, as in the paper),
+    3 repetitions, one crash per 250 virtual milliseconds in the
+    with-faults configurations. *)
+
+val print : ?requests:int -> ?reps:int -> unit -> unit

@@ -1,0 +1,42 @@
+module Campaign = Sg_swifi.Campaign
+module Workloads = Sg_components.Workloads
+module Table = Sg_util.Table
+
+let run ?(mode = Superglue.Stubset.mode) ?(injections = 500) ?(seed = 1) () =
+  List.map
+    (fun iface -> Campaign.run ~seed ~mode ~iface ~injections ())
+    Workloads.all_ifaces
+
+let print ?mode ?injections () =
+  let rows = run ?mode ?injections () in
+  print_endline
+    "Table II - SWIFI fault-injection campaign with SuperGlue\n\
+     (measured | paper's value in parentheses)";
+  let paper iface =
+    List.find (fun p -> p.Paper.p_iface = iface) Paper.table2
+  in
+  let cell v p = Printf.sprintf "%d (%d)" v p in
+  let pct v p = Printf.sprintf "%.2f%% (%.2f%%)" (100.0 *. v) p in
+  Table.print
+    ~header:
+      [
+        "Component"; "Injected"; "Recovered"; "Segfault"; "Propagated";
+        "Other"; "Undetected"; "Activation"; "Success";
+      ]
+    (List.map
+       (fun (r : Campaign.row) ->
+         let p = paper r.Campaign.r_iface in
+         [
+           r.Campaign.r_iface;
+           cell r.Campaign.r_injected p.Paper.p_injected;
+           cell r.Campaign.r_recovered p.Paper.p_recovered;
+           cell r.Campaign.r_segfault p.Paper.p_segfault;
+           cell r.Campaign.r_propagated p.Paper.p_propagated;
+           cell r.Campaign.r_other p.Paper.p_other;
+           cell r.Campaign.r_undetected p.Paper.p_undetected;
+           pct (Campaign.activation_ratio r) p.Paper.p_activation_pct;
+           pct (Campaign.success_rate r) p.Paper.p_success_pct;
+         ])
+       rows);
+  let reboots = List.fold_left (fun acc r -> acc + r.Campaign.r_reboots) 0 rows in
+  Printf.printf "micro-reboots across the campaign: %d\n" reboots

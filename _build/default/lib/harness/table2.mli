@@ -1,0 +1,12 @@
+(** Driver regenerating Table II: the SWIFI fault-injection campaign
+    over the six system services, printed beside the paper's numbers. *)
+
+val run :
+  ?mode:Sg_components.Sysbuild.mode ->
+  ?injections:int ->
+  ?seed:int ->
+  unit ->
+  Sg_swifi.Campaign.row list
+(** Default: the SuperGlue configuration, 500 injections per service. *)
+
+val print : ?mode:Sg_components.Sysbuild.mode -> ?injections:int -> unit -> unit

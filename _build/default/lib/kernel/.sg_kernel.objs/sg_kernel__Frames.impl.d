@@ -1,0 +1,1 @@
+lib/kernel/frames.ml: Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/kernel/frames.mli:

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Captbl Clock Cost Frames Ktcb

@@ -1,0 +1,1 @@
+lib/kernel/ktcb.ml: Hashtbl List Printf Regfile

@@ -1,0 +1,1 @@
+lib/kernel/regfile.ml: Array Format Int64 Reg Sg_util

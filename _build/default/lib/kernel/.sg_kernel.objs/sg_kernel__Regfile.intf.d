@@ -1,0 +1,1 @@
+lib/kernel/regfile.mli: Format Reg Sg_util

@@ -1,0 +1,1 @@
+lib/kernel/usage.ml: Array Format List Reg

@@ -1,0 +1,1 @@
+lib/kernel/usage.mli: Format Reg

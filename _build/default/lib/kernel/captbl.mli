@@ -1,0 +1,19 @@
+(** Capability tables mediating component invocations.
+
+    In COMPOSITE every component invocation is authorized by
+    capability-based access control in the kernel (§II-B). A client may
+    only invoke servers it has been granted a capability for; the SWIFI
+    campaign never corrupts this table (the kernel is trusted, §II-E). *)
+
+type t
+
+val create : unit -> t
+val grant : t -> client:int -> server:int -> unit
+val revoke : t -> client:int -> server:int -> unit
+val allowed : t -> client:int -> server:int -> bool
+val servers_of : t -> client:int -> int list
+(** Servers the client holds invocation capabilities for, sorted. *)
+
+val clients_of : t -> server:int -> int list
+(** Reflection: which clients can invoke this server; used to drive eager
+    recovery over all client interfaces. *)

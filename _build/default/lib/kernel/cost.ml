@@ -1,0 +1,47 @@
+type t = {
+  invocation_ns : int;
+  dispatch_ns : int;
+  c3_track_ns : int;
+  sg_track_ns : int;
+  sg_lookup_ns : int;
+  reboot_ns_per_kb : int;
+  upcall_ns : int;
+  reflect_ns : int;
+  storage_op_ns : int;
+  cbuf_map_ns : int;
+  block_ns : int;
+  wakeup_ns : int;
+}
+
+let default =
+  {
+    invocation_ns = 620;
+    dispatch_ns = 60;
+    c3_track_ns = 760;
+    sg_track_ns = 880;
+    sg_lookup_ns = 410;
+    reboot_ns_per_kb = 105;
+    upcall_ns = 700;
+    reflect_ns = 250;
+    storage_op_ns = 320;
+    cbuf_map_ns = 210;
+    block_ns = 380;
+    wakeup_ns = 260;
+  }
+
+let scale t f =
+  let s x = int_of_float (float_of_int x *. f) in
+  {
+    invocation_ns = s t.invocation_ns;
+    dispatch_ns = s t.dispatch_ns;
+    c3_track_ns = s t.c3_track_ns;
+    sg_track_ns = s t.sg_track_ns;
+    sg_lookup_ns = s t.sg_lookup_ns;
+    reboot_ns_per_kb = s t.reboot_ns_per_kb;
+    upcall_ns = s t.upcall_ns;
+    reflect_ns = s t.reflect_ns;
+    storage_op_ns = s t.storage_op_ns;
+    cbuf_map_ns = s t.cbuf_map_ns;
+    block_ns = s t.block_ns;
+    wakeup_ns = s t.wakeup_ns;
+  }

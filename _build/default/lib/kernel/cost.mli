@@ -1,0 +1,35 @@
+(** The virtual-time cost model.
+
+    Every operation in the simulation charges a duration drawn from this
+    table. The constants are calibrated (see DESIGN.md §3.5) so that the
+    fault-free componentized web server lands near the paper's reported
+    ~16 200 requests/second on the 2.4 GHz i7; all comparative results
+    (C³ vs SuperGlue overhead, recovery costs, throughput ratios) then
+    emerge from the number and kind of operations each configuration
+    performs rather than from hard-coded ratios. *)
+
+type t = {
+  invocation_ns : int;
+      (** one synchronous component invocation round trip (kernel
+          capability lookup + page-table switch, both directions) *)
+  dispatch_ns : int;  (** server-side demultiplex of the function name *)
+  c3_track_ns : int;
+      (** C³ hand-specialized stub: one descriptor-tracking action *)
+  sg_track_ns : int;
+      (** SuperGlue interpreted stub: one descriptor-tracking action;
+          slightly dearer than C³'s specialized code, as in the paper *)
+  sg_lookup_ns : int;  (** descriptor-table lookup in either stub *)
+  reboot_ns_per_kb : int;  (** booter memcpy of a pristine image *)
+  upcall_ns : int;  (** one upcall into a client component *)
+  reflect_ns : int;  (** one reflection query on kernel or server state *)
+  storage_op_ns : int;  (** storage-component record read/write *)
+  cbuf_map_ns : int;  (** zero-copy buffer map/grant *)
+  block_ns : int;  (** context switch when a thread blocks *)
+  wakeup_ns : int;  (** making a blocked thread runnable *)
+}
+
+val default : t
+
+val scale : t -> float -> t
+(** [scale t f] multiplies every constant by [f]; used for sensitivity
+    ablations. *)

@@ -1,0 +1,50 @@
+type frame = int
+
+type t = {
+  total_frames : int;
+  mutable next_frame : int;
+  free : frame Stack.t;
+  ptes : (int * int, frame) Hashtbl.t;  (** (cid, vaddr) -> frame *)
+}
+
+let create ?(total_frames = 65536) () =
+  { total_frames; next_frame = 0; free = Stack.create (); ptes = Hashtbl.create 256 }
+
+let alloc_frame t =
+  match Stack.pop_opt t.free with
+  | Some f -> Some f
+  | None ->
+      if t.next_frame >= t.total_frames then None
+      else begin
+        let f = t.next_frame in
+        t.next_frame <- f + 1;
+        Some f
+      end
+
+let free_frame t f = Stack.push f t.free
+
+let map t ~cid ~vaddr frame =
+  if Hashtbl.mem t.ptes (cid, vaddr) then Error `Exists
+  else begin
+    Hashtbl.replace t.ptes (cid, vaddr) frame;
+    Ok ()
+  end
+
+let unmap t ~cid ~vaddr =
+  match Hashtbl.find_opt t.ptes (cid, vaddr) with
+  | None -> Error `Absent
+  | Some frame ->
+      Hashtbl.remove t.ptes (cid, vaddr);
+      Ok frame
+
+let lookup t ~cid ~vaddr = Hashtbl.find_opt t.ptes (cid, vaddr)
+
+let mappings_of t ~cid =
+  Hashtbl.fold
+    (fun (c, vaddr) frame acc -> if c = cid then (vaddr, frame) :: acc else acc)
+    t.ptes []
+  |> List.sort compare
+
+let mapping_count t = Hashtbl.length t.ptes
+
+let frames_in_use t = t.next_frame - Stack.length t.free

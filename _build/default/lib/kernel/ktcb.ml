@@ -1,0 +1,93 @@
+type tid = int
+
+type tstate =
+  | Runnable
+  | Blocked of { in_component : int }
+  | Sleeping of { until_ns : int; in_component : int }
+  | Exited
+
+type tcb = {
+  tid : tid;
+  name : string;
+  mutable prio : int;
+  mutable state : tstate;
+  regs : Regfile.t;
+  mutable stack : int list;
+  mutable divert : int option;
+}
+
+type t = { mutable next_tid : int; table : (tid, tcb) Hashtbl.t }
+
+let create () = { next_tid = 1; table = Hashtbl.create 32 }
+
+let spawn t ~name ~prio ~home =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let tcb =
+    {
+      tid;
+      name;
+      prio;
+      state = Runnable;
+      regs = Regfile.create ();
+      stack = [ home ];
+      divert = None;
+    }
+  in
+  Hashtbl.replace t.table tid tcb;
+  tcb
+
+let find t tid = Hashtbl.find_opt t.table tid
+
+let find_exn t tid =
+  match find t tid with
+  | Some tcb -> tcb
+  | None -> invalid_arg (Printf.sprintf "Ktcb.find_exn: unknown tid %d" tid)
+
+let exit_thread t tid =
+  match find t tid with Some tcb -> tcb.state <- Exited | None -> ()
+
+let all t =
+  Hashtbl.fold (fun _ tcb acc -> tcb :: acc) t.table []
+  |> List.sort (fun a b -> compare a.tid b.tid)
+
+let enter_component tcb cid = tcb.stack <- cid :: tcb.stack
+
+let leave_component tcb =
+  match tcb.stack with
+  | [] -> invalid_arg "Ktcb.leave_component: empty invocation stack"
+  | _ :: rest -> tcb.stack <- rest
+
+let current_component tcb =
+  match tcb.stack with [] -> None | cid :: _ -> Some cid
+
+let executing_in t cid =
+  List.filter
+    (fun tcb -> tcb.state <> Exited && current_component tcb = Some cid)
+    (all t)
+
+let in_stack tcb cid = List.mem cid tcb.stack
+
+let threads_inside t cid =
+  List.filter (fun tcb -> tcb.state <> Exited && in_stack tcb cid) (all t)
+
+let blocked_in t cid =
+  List.filter
+    (fun tcb ->
+      match tcb.state with
+      | Blocked { in_component } | Sleeping { in_component; _ } ->
+          in_component = cid
+      | Runnable | Exited -> false)
+    (all t)
+
+let runnable t =
+  all t
+  |> List.filter (fun tcb -> tcb.state = Runnable)
+  |> List.stable_sort (fun a b -> compare a.prio b.prio)
+
+let sleepers t =
+  List.filter
+    (fun tcb -> match tcb.state with Sleeping _ -> true | _ -> false)
+    (all t)
+
+let count t = Hashtbl.length t.table

@@ -1,0 +1,30 @@
+type t = EAX | EBX | ECX | EDX | ESI | EDI | ESP | EBP
+
+let all = [| EAX; EBX; ECX; EDX; ESI; EDI; ESP; EBP |]
+let general = [| EAX; EBX; ECX; EDX; ESI; EDI |]
+let is_stack = function ESP | EBP -> true | EAX | EBX | ECX | EDX | ESI | EDI -> false
+
+let to_string = function
+  | EAX -> "EAX"
+  | EBX -> "EBX"
+  | ECX -> "ECX"
+  | EDX -> "EDX"
+  | ESI -> "ESI"
+  | EDI -> "EDI"
+  | ESP -> "ESP"
+  | EBP -> "EBP"
+
+let of_string = function
+  | "EAX" -> Some EAX
+  | "EBX" -> Some EBX
+  | "ECX" -> Some ECX
+  | "EDX" -> Some EDX
+  | "ESI" -> Some ESI
+  | "EDI" -> Some EDI
+  | "ESP" -> Some ESP
+  | "EBP" -> Some EBP
+  | _ -> None
+
+let compare = Stdlib.compare
+let equal = ( = )
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,19 @@
+(** The eight 32-bit registers of the simulated platform.
+
+    The paper injects faults into six general-purpose registers plus the
+    two special registers ESP and EBP (§V-A). *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | ESP | EBP
+
+val all : t array
+val general : t array
+(** The six general-purpose registers. *)
+
+val is_stack : t -> bool
+(** [true] for ESP and EBP. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

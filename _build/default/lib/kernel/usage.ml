@@ -1,0 +1,75 @@
+type sink = Checked | Returned | Loop_bound | Scratch
+
+type use =
+  | Write
+  | Read_pointer of { bound_bits : int; escapes : bool }
+  | Read_stackptr of { red_bits : int }
+  | Read_data of sink
+
+type event = { at : int; reg : Reg.t; use : use }
+type t = { duration_ns : int; events : event array }
+
+let make ~duration_ns events =
+  List.iter
+    (fun e ->
+      if e.at < 0 || e.at > duration_ns then
+        invalid_arg "Usage.make: event offset outside operation window")
+    events;
+  let events = Array.of_list events in
+  Array.sort (fun a b -> compare a.at b.at) events;
+  { duration_ns; events }
+
+let duration_ns t = t.duration_ns
+
+type verdict =
+  | Undetected
+  | Failstop of string
+  | Segfault
+  | Propagated
+  | Hang
+
+(* Consequence of a single-event upset, decided by the next access to the
+   flipped register (see the .mli for the hardware rationale). *)
+let classify t ~reg ~bit ~at =
+  let next =
+    Array.fold_left
+      (fun acc e ->
+        match acc with
+        | Some _ -> acc
+        | None -> if e.at >= at && Reg.equal e.reg reg then Some e else None)
+      None t.events
+  in
+  match next with
+  | None -> Undetected
+  | Some { use = Write; _ } -> Undetected
+  | Some { use = Read_pointer { bound_bits; escapes }; _ } ->
+      if bit >= bound_bits then Failstop "pagefault"
+      else if escapes then Propagated
+      else Failstop "assert"
+  | Some { use = Read_stackptr { red_bits }; _ } ->
+      if bit < red_bits then Segfault else Failstop "pagefault"
+  | Some { use = Read_data sink; _ } -> (
+      match sink with
+      | Checked -> Failstop "assert"
+      | Returned -> Propagated
+      | Loop_bound -> if bit >= 20 then Hang else if bit >= 4 then Failstop "assert" else Undetected
+      | Scratch -> Undetected)
+
+let verdict_to_string = function
+  | Undetected -> "undetected"
+  | Failstop d -> "failstop:" ^ d
+  | Segfault -> "segfault"
+  | Propagated -> "propagated"
+  | Hang -> "hang"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_to_string v)
+
+let window ?(start = 0) ~duration_ns ~per_reg ~stride () =
+  if stride <= 0 then invalid_arg "Usage.window: stride must be positive";
+  let rec go at acc =
+    if at > duration_ns then acc
+    else
+      let here = List.map (fun (reg, use) -> { at; reg; use }) per_reg in
+      go (at + stride) (List.rev_append here acc)
+  in
+  List.rev (go start [])

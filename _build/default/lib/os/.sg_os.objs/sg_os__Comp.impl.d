@@ -1,0 +1,1 @@
+lib/os/comp.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/os/port.ml: Comp Printf Sim

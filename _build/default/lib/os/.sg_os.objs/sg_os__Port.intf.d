@@ -1,0 +1,1 @@
+lib/os/port.mli: Comp Sim

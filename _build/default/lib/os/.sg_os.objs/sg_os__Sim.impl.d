@@ -1,0 +1,1 @@
+lib/os/sim.ml: Captbl Clock Comp Cost Effect Format Fun Hashtbl Kernel Ktcb List Printexc Printf Sg_kernel Sg_util Sys Usage

@@ -1,0 +1,1 @@
+lib/os/sim.mli: Comp Format Sg_kernel Sg_util

@@ -1,0 +1,17 @@
+type t = {
+  server : Comp.cid;
+  call : Sim.t -> string -> Comp.value list -> Comp.value Comp.outcome;
+}
+
+let raw server =
+  { server; call = (fun sim fn args -> Sim.invoke sim ~server fn args) }
+
+let call t sim fn args = t.call sim fn args
+
+let call_exn t sim fn args =
+  match t.call sim fn args with
+  | Ok v -> v
+  | Error e ->
+      failwith
+        (Printf.sprintf "invocation %s on component %d failed: %s" fn t.server
+           (Comp.errno_to_string e))

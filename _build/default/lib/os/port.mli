@@ -1,0 +1,24 @@
+(** Client-side invocation ports.
+
+    A port is the indirection through which a client reaches a server
+    interface. In the *base* system a port is the raw kernel invocation
+    path; with C³ or SuperGlue, a port is a recovery stub that interposes
+    on every call (Fig 1(b) of the paper). Workloads and components are
+    written against ports so the identical code runs in all three system
+    configurations. *)
+
+type t = {
+  server : Comp.cid;
+  call : Sim.t -> string -> Comp.value list -> Comp.value Comp.outcome;
+}
+
+val raw : Comp.cid -> t
+(** Direct invocation with no stub interposition (the base COMPOSITE
+    configuration): a server crash propagates to the caller and brings
+    the workload down. *)
+
+val call : t -> Sim.t -> string -> Comp.value list -> Comp.value Comp.outcome
+
+val call_exn : t -> Sim.t -> string -> Comp.value list -> Comp.value
+(** Like {!call} but raises [Failure] on an [Error] outcome; for workload
+    code where an interface error is a test failure. *)

@@ -1,0 +1,427 @@
+open Sg_kernel
+module Rng = Sg_util.Rng
+
+type t = {
+  sk : Kernel.t;
+  sim_rng : Rng.t;
+  components : (int, centry) Hashtbl.t;
+  names : (string, int) Hashtbl.t;
+  mutable next_cid : int;
+  fibers : (Ktcb.tid, fiber) Hashtbl.t;
+  mutable current : fiber option;
+  upcalls : (int * string, t -> Comp.value list -> Comp.value Comp.outcome) Hashtbl.t;
+  mutable on_dispatch : (t -> Comp.cid -> string -> unit) option;
+  mutable sim_fatal : fatal option;
+  mutable n_invocations : int;
+  mutable n_reboots : int;
+  mutable seq : int;  (** scheduling stamp for round-robin within priority *)
+  mutable trace_log : trace_event list;
+  mutable trace_len : int;
+}
+
+and trace_event = {
+  tv_at_ns : int;
+  tv_kind : [ `Failed of string | `Microreboot | `Upcall of string ];
+  tv_cid : Comp.cid;
+}
+
+and spec = {
+  sc_name : string;
+  sc_image_kb : int;
+  sc_init : t -> Comp.cid -> unit;
+  sc_boot_init : t -> Comp.cid -> unit;
+  sc_dispatch : t -> Comp.cid -> string -> Comp.value list -> Comp.value Comp.outcome;
+  sc_reflect : t -> Comp.cid -> string -> Comp.value list -> Comp.value Comp.outcome;
+  sc_usage : string -> Usage.t option;
+}
+
+and centry = {
+  ce_cid : int;
+  ce_spec : spec;
+  mutable ce_status : [ `Alive | `Failed of string ];
+  mutable ce_epoch : int;
+}
+
+and fiber = { f_tcb : Ktcb.tcb; mutable f_resume : resume; mutable f_last_run : int }
+
+and resume =
+  | Start of (t -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+and fatal =
+  | Fatal_segfault of Comp.cid
+  | Fatal_hang of Comp.cid
+  | Fatal_propagated of Comp.cid
+  | Fatal_uncaught of string
+
+type run_result = Completed | Fatal of fatal | Deadlock
+
+type _ Effect.t +=
+  | Block_eff : unit Effect.t
+  | Yield_eff : unit Effect.t
+
+let create ?(cost = Cost.default) ?(seed = 42) () =
+  {
+    sk = Kernel.create ~cost ();
+    sim_rng = Rng.create seed;
+    components = Hashtbl.create 16;
+    names = Hashtbl.create 16;
+    next_cid = 1;
+    fibers = Hashtbl.create 16;
+    current = None;
+    upcalls = Hashtbl.create 16;
+    on_dispatch = None;
+    sim_fatal = None;
+    n_invocations = 0;
+    n_reboots = 0;
+    seq = 0;
+    trace_log = [];
+    trace_len = 0;
+  }
+
+let trace_capacity = 512
+
+let record t kind cid =
+  t.trace_log <- { tv_at_ns = Kernel.now t.sk; tv_kind = kind; tv_cid = cid } :: t.trace_log;
+  t.trace_len <- t.trace_len + 1;
+  if t.trace_len > 2 * trace_capacity then begin
+    t.trace_log <- List.filteri (fun i _ -> i < trace_capacity) t.trace_log;
+    t.trace_len <- trace_capacity
+  end
+
+let trace t = List.filteri (fun i _ -> i < trace_capacity) t.trace_log
+
+let pp_trace_event ppf e =
+  let kind =
+    match e.tv_kind with
+    | `Failed detector -> "fault detected (" ^ detector ^ ")"
+    | `Microreboot -> "micro-reboot"
+    | `Upcall fn -> "upcall " ^ fn
+  in
+  Format.fprintf ppf "[%8d ns] component %d: %s" e.tv_at_ns e.tv_cid kind
+
+let kernel t = t.sk
+let cost t = t.sk.Kernel.cost
+let rng t = t.sim_rng
+let now t = Kernel.now t.sk
+let charge t ns = Kernel.charge t.sk ns
+
+let centry_exn t cid =
+  match Hashtbl.find_opt t.components cid with
+  | Some ce -> ce
+  | None -> invalid_arg (Printf.sprintf "Sim: unknown component %d" cid)
+
+let register t spec =
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  let ce = { ce_cid = cid; ce_spec = spec; ce_status = `Alive; ce_epoch = 0 } in
+  Hashtbl.replace t.components cid ce;
+  Hashtbl.replace t.names spec.sc_name cid;
+  spec.sc_init t cid;
+  cid
+
+let cid_of_name t name = Hashtbl.find_opt t.names name
+let name_of t cid = (centry_exn t cid).ce_spec.sc_name
+let grant t ~client ~server = Captbl.grant t.sk.Kernel.captbl ~client ~server
+let epoch t cid = (centry_exn t cid).ce_epoch
+let is_failed t cid = (centry_exn t cid).ce_status <> `Alive
+
+let mark_failed t cid ~detector =
+  let ce = centry_exn t cid in
+  match ce.ce_status with
+  | `Failed _ -> ()
+  | `Alive ->
+      ce.ce_status <- `Failed detector;
+      record t (`Failed detector) cid
+
+let reboots t = t.n_reboots
+let invocations t = t.n_invocations
+let set_on_dispatch t hook = t.on_dispatch <- hook
+let usage_of t cid fn = (centry_exn t cid).ce_spec.sc_usage fn
+let fatal t = t.sim_fatal
+
+let set_fatal t f = if t.sim_fatal = None then t.sim_fatal <- Some f
+
+let fatal_to_string = function
+  | Fatal_segfault cid -> Printf.sprintf "segfault (component %d)" cid
+  | Fatal_hang cid -> Printf.sprintf "hang (component %d)" cid
+  | Fatal_propagated cid -> Printf.sprintf "fault propagated (component %d)" cid
+  | Fatal_uncaught msg -> "uncaught exception: " ^ msg
+
+let pp_run_result ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Fatal f -> Format.fprintf ppf "fatal: %s" (fatal_to_string f)
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+
+(* {1 Threads} *)
+
+let current_fiber t =
+  match t.current with
+  | Some f -> f
+  | None -> invalid_arg "Sim: no current thread (not inside Sim.run)"
+
+let current_tcb t = (current_fiber t).f_tcb
+let current_tid t = (current_tcb t).Ktcb.tid
+
+let self_cid t =
+  match Ktcb.current_component (current_tcb t) with
+  | Some cid -> cid
+  | None -> invalid_arg "Sim.self_cid: empty invocation stack"
+
+let client_cid t =
+  match (current_tcb t).Ktcb.stack with
+  | _ :: client :: _ -> client
+  | [ home ] -> home
+  | [] -> invalid_arg "Sim.client_cid: empty invocation stack"
+
+let spawn t ?(prio = 10) ~name ~home f =
+  let tcb = Ktcb.spawn t.sk.Kernel.threads ~name ~prio ~home in
+  let fiber = { f_tcb = tcb; f_resume = Start f; f_last_run = 0 } in
+  Hashtbl.replace t.fibers tcb.Ktcb.tid fiber;
+  tcb.Ktcb.tid
+
+let block t =
+  let tcb = current_tcb t in
+  let in_component = self_cid t in
+  charge t (cost t).Cost.block_ns;
+  tcb.Ktcb.state <- Ktcb.Blocked { in_component };
+  Effect.perform Block_eff
+
+let sleep_until t until_ns =
+  let tcb = current_tcb t in
+  let in_component = self_cid t in
+  charge t (cost t).Cost.block_ns;
+  tcb.Ktcb.state <- Ktcb.Sleeping { until_ns; in_component };
+  Effect.perform Block_eff
+
+let wakeup t tid =
+  match Ktcb.find t.sk.Kernel.threads tid with
+  | None -> false
+  | Some tcb -> (
+      match tcb.Ktcb.state with
+      | Ktcb.Blocked _ | Ktcb.Sleeping _ ->
+          charge t (cost t).Cost.wakeup_ns;
+          tcb.Ktcb.state <- Ktcb.Runnable;
+          true
+      | Ktcb.Runnable | Ktcb.Exited -> false)
+
+let runnable_fibers t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      if f.f_tcb.Ktcb.state = Ktcb.Runnable && f.f_resume <> Finished then
+        f :: acc
+      else acc)
+    t.fibers []
+
+let pick_next t =
+  let better a b =
+    let pa = (a.f_tcb.Ktcb.prio, a.f_last_run, a.f_tcb.Ktcb.tid) in
+    let pb = (b.f_tcb.Ktcb.prio, b.f_last_run, b.f_tcb.Ktcb.tid) in
+    if pa <= pb then a else b
+  in
+  match runnable_fibers t with
+  | [] -> None
+  | f :: rest -> Some (List.fold_left better f rest)
+
+let yield (_ : t) =
+  (* remains runnable; the dispatcher will pick the best candidate *)
+  Effect.perform Yield_eff
+
+let maybe_preempt t =
+  let me = current_fiber t in
+  let higher =
+    List.exists
+      (fun f -> f != me && f.f_tcb.Ktcb.prio < me.f_tcb.Ktcb.prio)
+      (runnable_fibers t)
+  in
+  if higher then yield t
+
+(* {1 Components: invocation, reflection, upcalls, reboot} *)
+
+let invoke t ~server fn args =
+  let tcb = current_tcb t in
+  let client = self_cid t in
+  if not (Captbl.allowed t.sk.Kernel.captbl ~client ~server) then Error Comp.EPERM
+  else begin
+    t.n_invocations <- t.n_invocations + 1;
+    charge t (cost t).Cost.invocation_ns;
+    let ce = centry_exn t server in
+    (match ce.ce_status with
+    | `Failed d -> raise (Comp.Crash { cid = server; detector = "vectored:" ^ d })
+    | `Alive -> ());
+    Ktcb.enter_component tcb server;
+    Fun.protect
+      ~finally:(fun () -> Ktcb.leave_component tcb)
+      (fun () ->
+        (match t.on_dispatch with Some hook -> hook t server fn | None -> ());
+        (match ce.ce_spec.sc_usage fn with
+        | Some u -> charge t (Usage.duration_ns u)
+        | None -> charge t (cost t).Cost.dispatch_ns);
+        try ce.ce_spec.sc_dispatch t server fn args
+        with Comp.Crash { cid; detector } as e ->
+          if cid = server then mark_failed t server ~detector;
+          raise e)
+  end
+
+let reflect t ~server fn args =
+  let tcb = current_tcb t in
+  charge t (cost t).Cost.reflect_ns;
+  let ce = centry_exn t server in
+  (match ce.ce_status with
+  | `Failed d -> raise (Comp.Crash { cid = server; detector = "vectored:" ^ d })
+  | `Alive -> ());
+  Ktcb.enter_component tcb server;
+  Fun.protect
+    ~finally:(fun () -> Ktcb.leave_component tcb)
+    (fun () -> ce.ce_spec.sc_reflect t server fn args)
+
+let register_upcall t ~client fn handler =
+  Hashtbl.replace t.upcalls (client, fn) handler
+
+let upcall t ~client fn args =
+  match Hashtbl.find_opt t.upcalls (client, fn) with
+  | None -> Error Comp.ENOENT
+  | Some handler ->
+      let tcb = current_tcb t in
+      record t (`Upcall fn) client;
+      charge t (cost t).Cost.upcall_ns;
+      Ktcb.enter_component tcb client;
+      Fun.protect
+        ~finally:(fun () -> Ktcb.leave_component tcb)
+        (fun () -> handler t args)
+
+let microreboot t cid =
+  let ce = centry_exn t cid in
+  t.n_reboots <- t.n_reboots + 1;
+  record t `Microreboot cid;
+  charge t (ce.ce_spec.sc_image_kb * (cost t).Cost.reboot_ns_per_kb);
+  ce.ce_status <- `Alive;
+  ce.ce_epoch <- ce.ce_epoch + 1;
+  ce.ce_spec.sc_init t cid;
+  (* every thread suspended with this component on its invocation stack
+     must divert back to its client stub when next resumed — including
+     threads already woken but not yet scheduled, whose continuations
+     still point into the dead incarnation's code *)
+  Hashtbl.iter
+    (fun _ fiber ->
+      let tcb = fiber.f_tcb in
+      match (fiber.f_resume, tcb.Ktcb.state) with
+      | Suspended _, (Ktcb.Blocked _ | Ktcb.Sleeping _ | Ktcb.Runnable)
+        when Ktcb.in_stack tcb cid ->
+          tcb.Ktcb.divert <- Some cid
+      | _ -> ())
+    t.fibers;
+  (* run the post-reboot constructor as the rebooted component, so that
+     eager recovery (T0) invocations originate from it *)
+  match t.current with
+  | Some fiber ->
+      Ktcb.enter_component fiber.f_tcb cid;
+      Fun.protect
+        ~finally:(fun () -> Ktcb.leave_component fiber.f_tcb)
+        (fun () -> ce.ce_spec.sc_boot_init t cid)
+  | None -> ce.ce_spec.sc_boot_init t cid
+
+(* {1 The discrete-event dispatcher} *)
+
+let handler t fiber =
+  let open Effect.Deep in
+  {
+    retc =
+      (fun () ->
+        fiber.f_resume <- Finished;
+        fiber.f_tcb.Ktcb.state <- Ktcb.Exited);
+    exnc =
+      (fun e ->
+        fiber.f_resume <- Finished;
+        fiber.f_tcb.Ktcb.state <- Ktcb.Exited;
+        match e with
+        | Comp.Sys_segfault { cid } -> set_fatal t (Fatal_segfault cid)
+        | Comp.Sys_hang { cid } -> set_fatal t (Fatal_hang cid)
+        | Comp.Sys_propagated { cid } -> set_fatal t (Fatal_propagated cid)
+        | e ->
+            set_fatal t
+              (Fatal_uncaught
+                 (Printf.sprintf "thread %s: %s" fiber.f_tcb.Ktcb.name
+                    (Printexc.to_string e))));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Block_eff ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                fiber.f_resume <- Suspended k)
+        | Yield_eff ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                fiber.f_resume <- Suspended k)
+        | _ -> None);
+  }
+
+let run_fiber t fiber =
+  t.current <- Some fiber;
+  t.seq <- t.seq + 1;
+  fiber.f_last_run <- t.seq;
+  (match fiber.f_resume with
+  | Finished -> ()
+  | Start f ->
+      fiber.f_resume <- Finished;
+      Effect.Deep.match_with (fun () -> f t) () (handler t fiber)
+  | Suspended k -> (
+      fiber.f_resume <- Finished;
+      match fiber.f_tcb.Ktcb.divert with
+      | Some cid ->
+          fiber.f_tcb.Ktcb.divert <- None;
+          if Sys.getenv_opt "SG_DEBUG_DIVERT" <> None then
+            Printf.eprintf "divert tid=%d from cid=%d (stack innermost=%s)\n"
+              fiber.f_tcb.Ktcb.tid cid
+              (match Ktcb.current_component fiber.f_tcb with
+               | Some c -> string_of_int c | None -> "-");
+          Effect.Deep.discontinue k (Comp.Diverted { cid })
+      | None -> Effect.Deep.continue k ()));
+  t.current <- None
+
+let earliest_sleeper t =
+  List.fold_left
+    (fun acc tcb ->
+      match tcb.Ktcb.state with
+      | Ktcb.Sleeping { until_ns; _ } -> (
+          match acc with
+          | Some (_, best) when best <= until_ns -> acc
+          | _ -> Some (tcb, until_ns))
+      | Ktcb.Runnable | Ktcb.Blocked _ | Ktcb.Exited -> acc)
+    None
+    (Ktcb.all t.sk.Kernel.threads)
+
+let wake_expired_sleepers t =
+  List.iter
+    (fun tcb ->
+      match tcb.Ktcb.state with
+      | Ktcb.Sleeping { until_ns; _ } when until_ns <= now t ->
+          tcb.Ktcb.state <- Ktcb.Runnable
+      | Ktcb.Sleeping _ | Ktcb.Runnable | Ktcb.Blocked _ | Ktcb.Exited -> ())
+    (Ktcb.all t.sk.Kernel.threads)
+
+let live_threads t =
+  List.filter
+    (fun tcb -> tcb.Ktcb.state <> Ktcb.Exited)
+    (Ktcb.all t.sk.Kernel.threads)
+
+let rec run t =
+  match t.sim_fatal with
+  | Some f -> Fatal f
+  | None -> (
+      (* busy threads advance the clock through charges, so timed sleeps
+         can expire while others run *)
+      wake_expired_sleepers t;
+      match pick_next t with
+      | Some fiber ->
+          run_fiber t fiber;
+          run t
+      | None -> (
+          match earliest_sleeper t with
+          | Some (_, until_ns) ->
+              Clock.advance_to t.sk.Kernel.clock until_ns;
+              wake_expired_sleepers t;
+              run t
+          | None -> if live_threads t = [] then Completed else Deadlock))

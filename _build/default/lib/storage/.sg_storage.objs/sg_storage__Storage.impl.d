@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Hashtbl List Option Sg_cbuf Sg_kernel Sg_os

@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Sg_cbuf Sg_os

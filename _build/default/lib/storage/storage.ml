@@ -1,0 +1,73 @@
+module Sim = Sg_os.Sim
+module Cost = Sg_kernel.Cost
+
+type desc_record = {
+  dr_creator : Sg_os.Comp.cid;
+  dr_meta : (string * Sg_os.Comp.value) list;
+}
+
+type t = {
+  _cbufs : Sg_cbuf.Cbuf.t;
+  descs : (string * int, desc_record) Hashtbl.t;
+  data : (string * int, (int * int * int * Sg_cbuf.Cbuf.id) list ref) Hashtbl.t;
+      (** (seq, off, len, cbuf), newest first *)
+  mutable seq : int;
+}
+
+let create cbufs =
+  { _cbufs = cbufs; descs = Hashtbl.create 64; data = Hashtbl.create 64; seq = 0 }
+
+let charge sim = Sim.charge sim (Sim.cost sim).Cost.storage_op_ns
+
+let register_desc t sim ~space ~id ~creator ~meta =
+  charge sim;
+  Hashtbl.replace t.descs (space, id) { dr_creator = creator; dr_meta = meta }
+
+let lookup_desc t sim ~space ~id =
+  charge sim;
+  Option.map
+    (fun r -> (r.dr_creator, r.dr_meta))
+    (Hashtbl.find_opt t.descs (space, id))
+
+let remove_desc t sim ~space ~id =
+  charge sim;
+  Hashtbl.remove t.descs (space, id)
+
+let descs_in t ~space =
+  Hashtbl.fold
+    (fun (s, id) _ acc -> if s = space then id :: acc else acc)
+    t.descs []
+  |> List.sort compare
+
+let put_slice t sim ~space ~id ~off ~len ~cbuf =
+  charge sim;
+  let key = (space, id) in
+  let cell =
+    match Hashtbl.find_opt t.data key with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace t.data key c;
+        c
+  in
+  t.seq <- t.seq + 1;
+  (* slices fully covered by the new one can never matter again: drop
+     them so overwrite-heavy workloads stay bounded *)
+  let covered (_, o, l, _) = o >= off && o + l <= off + len in
+  cell := (t.seq, off, len, cbuf) :: List.filter (fun s -> not (covered s)) !cell
+
+let slices t sim ~space ~id =
+  charge sim;
+  match Hashtbl.find_opt t.data (space, id) with
+  | None -> []
+  | Some c ->
+      (* replay order is write order: later writes must win where
+         slices overlap *)
+      List.sort compare !c |> List.map (fun (_, o, l, b) -> (o, l, b))
+
+let drop_slices t sim ~space ~id =
+  charge sim;
+  Hashtbl.remove t.data (space, id)
+
+let slice_count t =
+  Hashtbl.fold (fun _ c acc -> acc + List.length !c) t.data 0

@@ -1,0 +1,1 @@
+lib/swifi/campaign.ml: Format Injector Sg_components Sg_os Sg_util

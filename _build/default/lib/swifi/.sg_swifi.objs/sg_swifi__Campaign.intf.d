@@ -1,0 +1,1 @@
+lib/swifi/campaign.mli: Format Sg_components

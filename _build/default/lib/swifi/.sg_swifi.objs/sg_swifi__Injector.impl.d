@@ -1,0 +1,1 @@
+lib/swifi/injector.ml: Hashtbl List Option Sg_kernel Sg_os Sg_util

@@ -1,0 +1,1 @@
+lib/swifi/injector.mli: Sg_kernel Sg_os Sg_util

@@ -1,0 +1,133 @@
+module Sim = Sg_os.Sim
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+module Rng = Sg_util.Rng
+
+type row = {
+  r_iface : string;
+  r_injected : int;
+  r_recovered : int;
+  r_segfault : int;
+  r_propagated : int;
+  r_other : int;
+  r_undetected : int;
+  r_reboots : int;
+}
+
+let empty iface =
+  {
+    r_iface = iface;
+    r_injected = 0;
+    r_recovered = 0;
+    r_segfault = 0;
+    r_propagated = 0;
+    r_other = 0;
+    r_undetected = 0;
+    r_reboots = 0;
+  }
+
+(* One workload execution with the injector armed; the outcome of each
+   injected fault is accounted per the paper's definitions. *)
+let run_chunk ~mode ~iface ~seed ~period_ns ~iters ~budget ~cmon_period_ns =
+  let sys = Sysbuild.build ~seed mode in
+  let sim = sys.Sysbuild.sys_sim in
+  let check = Workloads.setup sys ~iface ~iters in
+  let inj =
+    Injector.create ?cmon_period_ns
+      ~target:(Sysbuild.cid_of_iface sys iface)
+      ~period_ns ~max_injections:budget
+      ~rng:(Rng.create (seed * 7919))
+      ()
+  in
+  Injector.install sim inj;
+  let result = Sim.run sim in
+  let injected = Injector.injected inj in
+  let failstops = Injector.count inj Injector.O_failstop in
+  let undetected = Injector.count inj Injector.O_undetected in
+  let segfault = Injector.count inj Injector.O_segfault in
+  let propagated = Injector.count inj Injector.O_propagated in
+  let hangs = Injector.count inj Injector.O_hang in
+  (* with the C'MON monitor armed, latent hangs are converted into
+     detected fail-stops and recovered like any other fault *)
+  let failstops, hangs =
+    if cmon_period_ns <> None then (failstops + hangs, 0) else (failstops, hangs)
+  in
+  let recovered, other =
+    match result with
+    | Sim.Completed ->
+        if check () = [] then (failstops, hangs)
+        else
+          (* recovery produced an incorrect execution: every detected
+             fault of the run counts as not recovered *)
+          (0, hangs + failstops)
+    | Sim.Fatal (Sim.Fatal_segfault _ | Sim.Fatal_propagated _) ->
+        (* execution demonstrably continued past the earlier fail-stop
+           recoveries; the terminal fault is already in its own column *)
+        (failstops, hangs)
+    | Sim.Fatal (Sim.Fatal_hang _) -> (failstops, hangs)
+    | Sim.Fatal (Sim.Fatal_uncaught _) | Sim.Deadlock ->
+        (* an unconverged recovery or a stuck thread: the terminal
+           fail-stop was not recovered *)
+        (max 0 (failstops - 1), hangs + min 1 failstops)
+  in
+  ( injected,
+    {
+      r_iface = iface;
+      r_injected = injected;
+      r_recovered = recovered;
+      r_segfault = segfault;
+      r_propagated = propagated;
+      r_other = other;
+      r_undetected = undetected;
+      r_reboots = Sim.reboots sim;
+    } )
+
+let add a b =
+  {
+    a with
+    r_injected = a.r_injected + b.r_injected;
+    r_recovered = a.r_recovered + b.r_recovered;
+    r_segfault = a.r_segfault + b.r_segfault;
+    r_propagated = a.r_propagated + b.r_propagated;
+    r_other = a.r_other + b.r_other;
+    r_undetected = a.r_undetected + b.r_undetected;
+    r_reboots = a.r_reboots + b.r_reboots;
+  }
+
+let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
+    ~mode ~iface ~injections () =
+  let rec go acc chunk_seed =
+    let remaining = injections - acc.r_injected in
+    if remaining <= 0 then acc
+    else
+      let injected, row =
+        run_chunk ~mode ~iface ~seed:chunk_seed ~period_ns ~iters:chunk_iters
+          ~budget:remaining ~cmon_period_ns
+      in
+      let acc = add acc row in
+      if injected = 0 then
+        (* the workload finished before the first injection was due:
+           keep going with a fresh run *)
+        go acc (chunk_seed + 1)
+      else go acc (chunk_seed + 1)
+  in
+  go (empty iface) seed
+
+let activation_ratio r =
+  if r.r_injected = 0 then 0.0
+  else
+    float_of_int (r.r_injected - r.r_undetected) /. float_of_int r.r_injected
+
+let success_rate r =
+  let activated = r.r_injected - r.r_undetected in
+  if activated = 0 then 0.0
+  else float_of_int r.r_recovered /. float_of_int activated
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%s: injected=%d recovered=%d segfault=%d propagated=%d other=%d \
+     undetected=%d activation=%.2f%% success=%.2f%%"
+    r.r_iface r.r_injected r.r_recovered r.r_segfault r.r_propagated r.r_other
+    r.r_undetected
+    (100.0 *. activation_ratio r)
+    (100.0 *. success_rate r)

@@ -1,0 +1,47 @@
+(** The fault-injection campaign of paper §V-D (Table II).
+
+    For each target service, its §V-B workload runs repeatedly while the
+    SWIFI injector periodically flips register bits in threads executing
+    inside the target. After an unrecoverable fault the whole system is
+    rebooted (a fresh simulator) and the campaign resumes, until the
+    requested number of faults has been injected.
+
+    A detected fail-stop fault counts as *recovered* only when the
+    workload run it occurred in subsequently completes with all
+    postconditions intact — the paper's "continued execution that abides
+    by the target component and workload specifications". *)
+
+type row = {
+  r_iface : string;
+  r_injected : int;
+  r_recovered : int;
+  r_segfault : int;  (** not recovered: system segfault *)
+  r_propagated : int;  (** not recovered: fault propagated to a client *)
+  r_other : int;  (** not recovered: hang or failed postconditions *)
+  r_undetected : int;
+  r_reboots : int;  (** micro-reboots performed across the campaign *)
+}
+
+val run :
+  ?seed:int ->
+  ?period_ns:int ->
+  ?chunk_iters:int ->
+  ?cmon_period_ns:int ->
+  mode:Sg_components.Sysbuild.mode ->
+  iface:string ->
+  injections:int ->
+  unit ->
+  row
+(** [run ~mode ~iface ~injections ()] injects exactly [injections] faults
+    (the paper uses 500 per component). With [cmon_period_ns] the C'MON
+    latent-fault monitor is armed: loop-bound hangs are detected within
+    a budget overrun plus one monitor period and recovered like other
+    fail-stop faults, emptying the "other" column. *)
+
+val activation_ratio : row -> float
+(** |F_a| / |F_a ∪ F_u| — the fraction of injected faults activated. *)
+
+val success_rate : row -> float
+(** |F_r| / |F_a| — recovered over activated. *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,108 @@
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Usage = Sg_kernel.Usage
+module Reg = Sg_kernel.Reg
+module Regfile = Sg_kernel.Regfile
+module Ktcb = Sg_kernel.Ktcb
+module Rng = Sg_util.Rng
+
+type outcome = O_undetected | O_failstop | O_segfault | O_propagated | O_hang
+
+type event = {
+  ev_at_ns : int;
+  ev_fn : string;
+  ev_reg : Reg.t;
+  ev_bit : int;
+  ev_outcome : outcome;
+}
+
+type t = {
+  target : Comp.cid;
+  period_ns : int;
+  max_injections : int;
+  cmon_period_ns : int option;
+  rng : Rng.t;
+  mutable next_at : int;
+  mutable n_injected : int;
+  mutable log : event list;
+  counts : (outcome, int) Hashtbl.t;
+}
+
+let create ?cmon_period_ns ~target ~period_ns ~max_injections ~rng () =
+  {
+    target;
+    period_ns;
+    max_injections;
+    cmon_period_ns;
+    rng;
+    next_at = period_ns;
+    n_injected = 0;
+    log = [];
+    counts = Hashtbl.create 8;
+  }
+
+let bump t outcome =
+  let c = Option.value (Hashtbl.find_opt t.counts outcome) ~default:0 in
+  Hashtbl.replace t.counts outcome (c + 1)
+
+let injected t = t.n_injected
+let count t o = Option.value (Hashtbl.find_opt t.counts o) ~default:0
+let events t = List.rev t.log
+
+let outcome_of_verdict = function
+  | Usage.Undetected -> O_undetected
+  | Usage.Failstop _ -> O_failstop
+  | Usage.Segfault -> O_segfault
+  | Usage.Propagated -> O_propagated
+  | Usage.Hang -> O_hang
+
+let outcome_to_string = function
+  | O_undetected -> "undetected"
+  | O_failstop -> "failstop"
+  | O_segfault -> "segfault"
+  | O_propagated -> "propagated"
+  | O_hang -> "hang"
+
+let hook t sim cid fn =
+  if
+    cid = t.target
+    && t.n_injected < t.max_injections
+    && Sim.now sim >= t.next_at
+  then
+    match Sim.usage_of sim cid fn with
+    | None -> ()
+    | Some usage ->
+        t.n_injected <- t.n_injected + 1;
+        t.next_at <- Sim.now sim + t.period_ns;
+        (* flip a random bit of a random register of the executing
+           thread, at a random point within the operation's window *)
+        let reg = Rng.choose t.rng Reg.all in
+        let bit = Rng.int t.rng 32 in
+        let at = Rng.int t.rng (Usage.duration_ns usage + 1) in
+        let tcb = Sim.current_tcb sim in
+        Regfile.flip_bit tcb.Ktcb.regs reg bit;
+        let verdict = Usage.classify usage ~reg ~bit ~at in
+        let outcome = outcome_of_verdict verdict in
+        bump t outcome;
+        t.log <-
+          { ev_at_ns = Sim.now sim; ev_fn = fn; ev_reg = reg; ev_bit = bit; ev_outcome = outcome }
+          :: t.log;
+        (match verdict with
+        | Usage.Undetected -> ()
+        | Usage.Failstop detector ->
+            Sim.mark_failed sim cid ~detector;
+            raise (Comp.Crash { cid; detector })
+        | Usage.Segfault -> raise (Comp.Sys_segfault { cid })
+        | Usage.Propagated -> raise (Comp.Sys_propagated { cid })
+        | Usage.Hang -> (
+            match t.cmon_period_ns with
+            | None -> raise (Comp.Sys_hang { cid })
+            | Some monitor_period ->
+                (* the thread spins until the execution-time budget is
+                   overrun and the monitor's next sample catches it *)
+                let budget = 2 * Usage.duration_ns usage in
+                Sim.charge sim (budget + Rng.int t.rng monitor_period);
+                Sim.mark_failed sim cid ~detector:"cmon-latent";
+                raise (Comp.Crash { cid; detector = "cmon-latent" })))
+
+let install sim t = Sim.set_on_dispatch sim (Some (fun sim cid fn -> hook t sim cid fn))

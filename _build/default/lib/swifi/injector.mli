@@ -1,0 +1,56 @@
+(** The SWIFI injector (paper §V-A).
+
+    Mimics transient faults by flipping a random bit in a randomly chosen
+    register (six general-purpose plus ESP and EBP) of a thread executing
+    inside the target system component, at a fixed virtual-time period.
+    The flip is applied to the thread's simulated register file and its
+    consequence is classified by the operation's register-usage schedule
+    ({!Sg_kernel.Usage.classify}); detected fail-stop faults crash the
+    component (vectoring to the booter via {!Sg_os.Comp.Crash}),
+    unrecoverable outcomes abort the whole system run. *)
+
+type outcome =
+  | O_undetected
+  | O_failstop
+  | O_segfault
+  | O_propagated
+  | O_hang
+
+type event = {
+  ev_at_ns : int;
+  ev_fn : string;
+  ev_reg : Sg_kernel.Reg.t;
+  ev_bit : int;
+  ev_outcome : outcome;
+}
+
+type t
+
+val create :
+  ?cmon_period_ns:int ->
+  target:Sg_os.Comp.cid ->
+  period_ns:int ->
+  max_injections:int ->
+  rng:Sg_util.Rng.t ->
+  unit ->
+  t
+(** [cmon_period_ns], when given, models the C'MON latent-fault monitor
+    the paper cites for its "Not recovered (other reason)" faults: an
+    infinite loop induced by a flipped loop bound is caught when the
+    operation overruns its execution-time budget — after the overrun
+    plus at most one monitor period, the fault is converted into an
+    ordinary detected fail-stop (detector "cmon-latent") and recovered
+    like any other, instead of hanging the system. *)
+
+val install : Sg_os.Sim.t -> t -> unit
+(** Arm the injector as the simulator's dispatch hook. *)
+
+val hook : t -> Sg_os.Sim.t -> Sg_os.Comp.cid -> string -> unit
+(** The raw hook, for composing with other dispatch instrumentation. *)
+
+val injected : t -> int
+val count : t -> outcome -> int
+val events : t -> event list
+(** Chronological injection log. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic element of the simulation (fault injection times,
+    register choice, bit choice, workload jitter) draws from an explicit
+    [Rng.t] so that campaigns are reproducible bit-for-bit from a seed.
+    The generator is splitmix64, which is small, fast and has no shared
+    global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with
+    the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each subsystem its own stream so that adding draws in one
+    subsystem does not perturb another. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state of [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for Poisson
+    fault inter-arrival times (paper §V-A). *)

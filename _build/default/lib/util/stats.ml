@@ -1,0 +1,40 @@
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;
+  min : float;
+  max : float;
+}
+
+let summarize_array a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sum = Array.fold_left ( +. ) 0.0 a in
+  let mean = sum /. float_of_int n in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 a in
+  let stdev = if n < 2 then 0.0 else sqrt (sq /. float_of_int (n - 1)) in
+  let min = Array.fold_left Float.min a.(0) a in
+  let max = Array.fold_left Float.max a.(0) a in
+  { n; mean; stdev; min; max }
+
+let summarize l = summarize_array (Array.of_list l)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let mean l = (summarize l).mean
+
+let ratio_percent ~baseline ~measured =
+  (baseline -. measured) /. baseline *. 100.0
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.3f ± %.3f (n=%d, min=%.3f, max=%.3f)" s.mean s.stdev
+    s.n s.min s.max

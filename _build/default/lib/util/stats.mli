@@ -1,0 +1,29 @@
+(** Summary statistics for benchmark and campaign reporting.
+
+    The paper reports averages with standard deviations for all
+    micro-benchmarks (Fig 6) and throughput runs (Fig 7). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stdev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val summarize_array : float array -> summary
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,1\]], linear interpolation; sorts a
+    copy of [a]. Raises [Invalid_argument] on an empty array. *)
+
+val mean : float list -> float
+val ratio_percent : baseline:float -> measured:float -> float
+(** [ratio_percent ~baseline ~measured] is the slowdown of [measured]
+    versus [baseline] in percent, e.g. 11.84 for the paper's SuperGlue
+    web-server figure. *)
+
+val pp_summary : Format.formatter -> summary -> unit

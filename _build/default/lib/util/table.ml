@@ -1,0 +1,53 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then
+        invalid_arg "Table.render: row arity mismatch")
+    rows;
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Table.render: aligns arity mismatch"
+    | None -> Left :: List.init (arity - 1) (fun _ -> Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let line cells =
+    let padded =
+      List.map2
+        (fun (w, a) c -> " " ^ pad a w c ^ " ")
+        (List.combine widths aligns)
+        cells
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?aligns ~header rows =
+  print_endline (render ?aligns ~header rows)

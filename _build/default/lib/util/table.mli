@@ -1,0 +1,13 @@
+(** Plain-text table rendering for benchmark and campaign reports.
+
+    Used by the harness to print rows in the same layout as the paper's
+    Table II and Figure 6/7 data. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a boxed ASCII table. All rows must have
+    the same arity as [header]; [aligns] defaults to left for the first
+    column and right for the rest. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit

@@ -1,0 +1,1 @@
+lib/web/abench.ml: Array Buffer Float Format Httpmsg List Printf Server Sg_components Sg_kernel Sg_os String

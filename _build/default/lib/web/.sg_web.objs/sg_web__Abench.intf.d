@@ -1,0 +1,1 @@
+lib/web/abench.mli: Server Sg_components

@@ -1,0 +1,1 @@
+lib/web/httpmsg.ml: List Printf Result String

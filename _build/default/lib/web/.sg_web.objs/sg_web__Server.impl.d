@@ -1,0 +1,1 @@
+lib/web/server.ml: Httpmsg List Sg_components Sg_os Sg_util String

@@ -1,0 +1,1 @@
+lib/web/server.mli: Sg_components Sg_os

@@ -1,0 +1,164 @@
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Sysbuild = Sg_components.Sysbuild
+
+type result = {
+  ab_requests : int;
+  ab_errors : int;
+  ab_faults : int;
+  ab_sim_ns : int;
+  ab_rps : float;
+}
+
+let client_spec =
+  {
+    Sim.sc_name = "abclient";
+    sc_image_kb = 24;
+    sc_init = (fun _ _ -> ());
+    sc_boot_init = (fun _ _ -> ());
+    sc_dispatch = (fun _ _ _ _ -> Error Comp.ENOENT);
+    sc_reflect = (fun _ _ _ _ -> Error Comp.EINVAL);
+    sc_usage = (fun _ -> None);
+  }
+
+let run ?(concurrency = 10) ?fault_period_ns ~requests sys server =
+  let sim = sys.Sysbuild.sys_sim in
+  let client = Sim.register sim client_spec in
+  Sim.grant sim ~client ~server:server.Server.ws_http;
+  let issued = ref 0 in
+  let done_clients = ref 0 in
+  let errors = ref 0 in
+  let faults = ref 0 in
+  let start_ns = ref 0 in
+  let finish_ns = ref 0 in
+  let req_text = Httpmsg.render_request ~path:"/index.html" () in
+  for i = 1 to concurrency do
+    ignore
+      (Sim.spawn sim ~prio:5
+         ~name:(Printf.sprintf "ab-%d" i)
+         ~home:client
+         (fun sim ->
+           (* wait for the server to come up *)
+           let rec wait_ready () =
+             if not !(server.Server.ws_ready) then begin
+               Sim.yield sim;
+               wait_ready ()
+             end
+           in
+           wait_ready ();
+           if !start_ns = 0 then start_ns := Sim.now sim;
+           let rec loop () =
+             if !issued < requests then begin
+               incr issued;
+               (match
+                  Sim.invoke sim ~server:server.Server.ws_http "http_get"
+                    [ Comp.VStr req_text ]
+                with
+               | Ok (Comp.VStr resp) -> (
+                   match Httpmsg.parse_response resp with
+                   | Ok { Httpmsg.rs_status = 200; _ } -> ()
+                   | Ok _ | Error _ -> incr errors)
+               | Ok _ | Error _ -> incr errors);
+               (* let the logger and the other closed-loop clients in *)
+               Sim.yield sim;
+               loop ()
+             end
+           in
+           loop ();
+           incr done_clients;
+           if !done_clients = concurrency then begin
+             finish_ns := Sim.now sim;
+             Server.stop sys server
+           end))
+  done;
+  (* optional SWIFI thread: crash a rotating system service each period *)
+  (match fault_period_ns with
+  | None -> ()
+  | Some period ->
+      let services = Sysbuild.services sys |> List.map snd |> Array.of_list in
+      ignore
+        (Sim.spawn sim ~prio:3 ~name:"web-swifi" ~home:sys.Sysbuild.sys_app1
+           (fun sim ->
+             let rec loop i =
+               if !done_clients < concurrency then begin
+                 Sim.sleep_until sim (Sim.now sim + period);
+                 if !done_clients < concurrency then begin
+                   let target = services.(i mod Array.length services) in
+                   Sim.mark_failed sim target ~detector:"swifi";
+                   incr faults;
+                   loop (i + 1)
+                 end
+               end
+             in
+             loop 0)));
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | r ->
+      failwith
+        (Format.asprintf "web benchmark did not complete: %a" Sim.pp_run_result r));
+  let window = max 1 (!finish_ns - !start_ns) in
+  {
+    ab_requests = requests;
+    ab_errors = !errors;
+    ab_faults = !faults;
+    ab_sim_ns = window;
+    ab_rps = float_of_int requests /. Sg_kernel.Clock.s_of_ns window;
+  }
+
+type bucket = { b_start_s : float; b_rps : float; b_crashes : int }
+
+let timeline sys server =
+  let samples = List.rev !(server.Server.ws_timeline) in
+  let crashes =
+    List.filter_map
+      (fun e ->
+        match e.Sim.tv_kind with
+        | `Failed _ -> Some e.Sim.tv_at_ns
+        | `Microreboot | `Upcall _ -> None)
+      (Sim.trace sys.Sysbuild.sys_sim)
+  in
+  let rec buckets acc = function
+    | (t0, n0) :: ((t1, n1) :: _ as rest) when t1 > t0 ->
+        let rps =
+          float_of_int (n1 - n0) /. Sg_kernel.Clock.s_of_ns (t1 - t0)
+        in
+        let crashed =
+          List.length (List.filter (fun c -> c >= t0 && c < t1) crashes)
+        in
+        buckets
+          ({ b_start_s = Sg_kernel.Clock.s_of_ns t0; b_rps = rps; b_crashes = crashed }
+          :: acc)
+          rest
+    | _ :: rest -> buckets acc rest
+    | [] -> List.rev acc
+  in
+  buckets [] samples
+
+let render_timeline buckets =
+  let max_rps =
+    List.fold_left (fun acc b -> Float.max acc b.b_rps) 1.0 buckets
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "  t(s)    req/s  (x = service crash)\n";
+  List.iter
+    (fun b ->
+      let width = int_of_float (40.0 *. b.b_rps /. max_rps) in
+      Buffer.add_string buf
+        (Printf.sprintf "%6.2f %8.0f  %s%s\n" b.b_start_s b.b_rps
+           (String.make (max 0 width) '#')
+           (if b.b_crashes > 0 then " " ^ String.make b.b_crashes 'x' else "")))
+    buckets;
+  Buffer.contents buf
+
+(* The Apache/Linux reference: a monolithic request loop with no
+   component crossings, modeled at the paper's measured throughput. *)
+let apache_reference ~requests =
+  let per_request_ns = 56_800 in
+  let sim_ns = requests * per_request_ns in
+  {
+    ab_requests = requests;
+    ab_errors = 0;
+    ab_faults = 0;
+    ab_sim_ns = sim_ns;
+    ab_rps = float_of_int requests /. Sg_kernel.Clock.s_of_ns sim_ns;
+  }

@@ -1,0 +1,100 @@
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_version : string;
+  rq_headers : (string * string) list;
+}
+
+let split_lines s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l)
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error ("malformed header: " ^ line)
+  | Some i ->
+      let key = String.sub line 0 i in
+      let v = String.sub line (i + 1) (String.length line - i - 1) in
+      Ok (String.lowercase_ascii key, String.trim v)
+
+let parse_request s =
+  match split_lines s with
+  | [] | [ "" ] -> Error "empty request"
+  | first :: rest -> (
+      match String.split_on_char ' ' first with
+      | [ m; path; version ] ->
+          let rec headers acc = function
+            | [] | "" :: _ -> Ok (List.rev acc)
+            | line :: rest -> (
+                match parse_header line with
+                | Ok kv -> headers (kv :: acc) rest
+                | Error e -> Error e)
+          in
+          Result.map
+            (fun hs ->
+              { rq_method = m; rq_path = path; rq_version = version; rq_headers = hs })
+            (headers [] rest)
+      | _ -> Error ("malformed request line: " ^ first))
+
+let render_request ?(headers = [ ("Host", "localhost"); ("User-Agent", "ab/2.3") ])
+    ~path () =
+  let hs =
+    headers |> List.map (fun (k, v) -> k ^ ": " ^ v ^ "\r\n") |> String.concat ""
+  in
+  Printf.sprintf "GET %s HTTP/1.1\r\n%s\r\n" path hs
+
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+let render_response r =
+  let hs =
+    ("Content-Length", string_of_int (String.length r.rs_body)) :: r.rs_headers
+    |> List.map (fun (k, v) -> k ^ ": " ^ v ^ "\r\n")
+    |> String.concat ""
+  in
+  Printf.sprintf "HTTP/1.1 %d %s\r\n%s\r\n%s" r.rs_status r.rs_reason hs r.rs_body
+
+let parse_response s =
+  match split_lines s with
+  | first :: rest -> (
+      match String.split_on_char ' ' first with
+      | "HTTP/1.1" :: code :: reason -> (
+          match int_of_string_opt code with
+          | None -> Error ("bad status: " ^ first)
+          | Some status ->
+              let rec skip_headers = function
+                | "" :: body -> String.concat "\n" body
+                | _ :: rest -> skip_headers rest
+                | [] -> ""
+              in
+              Ok
+                {
+                  rs_status = status;
+                  rs_reason = String.concat " " reason;
+                  rs_headers = [];
+                  rs_body = skip_headers rest;
+                })
+      | _ -> Error ("malformed status line: " ^ first))
+  | [] -> Error "empty response"
+
+let ok ~body =
+  {
+    rs_status = 200;
+    rs_reason = "OK";
+    rs_headers = [ ("Server", "composite-httpd"); ("Content-Type", "text/html") ];
+    rs_body = body;
+  }
+
+let not_found =
+  {
+    rs_status = 404;
+    rs_reason = "Not Found";
+    rs_headers = [ ("Server", "composite-httpd") ];
+    rs_body = "<html>404</html>";
+  }

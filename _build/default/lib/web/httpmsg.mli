@@ -1,0 +1,27 @@
+(** HTTP/1.1 message parsing and rendering for the web-server workload.
+
+    A real (if minimal) implementation: request-line and header parsing,
+    and status-line/header/body response building — the server component
+    genuinely parses the request text the load generator produces. *)
+
+type request = {
+  rq_method : string;
+  rq_path : string;
+  rq_version : string;
+  rq_headers : (string * string) list;
+}
+
+val parse_request : string -> (request, string) result
+val render_request : ?headers:(string * string) list -> path:string -> unit -> string
+
+type response = {
+  rs_status : int;
+  rs_reason : string;
+  rs_headers : (string * string) list;
+  rs_body : string;
+}
+
+val render_response : response -> string
+val parse_response : string -> (response, string) result
+val ok : body:string -> response
+val not_found : response

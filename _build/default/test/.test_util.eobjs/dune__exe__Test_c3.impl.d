@@ -1,0 +1,1 @@
+test/test_c3.ml: Alcotest List Sg_c3 Sg_cbuf Sg_components Sg_os Sg_storage String Superglue

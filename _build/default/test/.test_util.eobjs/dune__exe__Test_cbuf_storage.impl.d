@@ -1,0 +1,1 @@
+test/test_cbuf_storage.ml: Alcotest Sg_cbuf Sg_os Sg_storage

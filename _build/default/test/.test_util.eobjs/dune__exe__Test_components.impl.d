@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest List Printf Sg_components Sg_kernel Sg_os String

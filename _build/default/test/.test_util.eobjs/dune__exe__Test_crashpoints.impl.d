@@ -1,0 +1,1 @@
+test/test_crashpoints.ml: Alcotest Format List Printf Sg_components Sg_genstubs Sg_os String Superglue

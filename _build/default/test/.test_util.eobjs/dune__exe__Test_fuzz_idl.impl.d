@@ -1,0 +1,1 @@
+test/test_fuzz_idl.ml: Alcotest Buffer Gen List Option Printf QCheck QCheck_alcotest Sg_util String Superglue

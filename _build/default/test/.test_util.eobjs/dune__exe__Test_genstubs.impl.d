@@ -1,0 +1,1 @@
+test/test_genstubs.ml: Alcotest List Sg_components Sg_genstubs Sg_os String Superglue

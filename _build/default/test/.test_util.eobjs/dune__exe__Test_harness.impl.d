@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Sg_harness Sg_swifi Sg_util Superglue

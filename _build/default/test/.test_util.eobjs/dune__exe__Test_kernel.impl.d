@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Captbl Clock Frames Kernel Ktcb List Option QCheck QCheck_alcotest Reg Regfile Sg_kernel Usage

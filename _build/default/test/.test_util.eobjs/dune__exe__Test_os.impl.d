@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Buffer Comp Printf Sg_kernel Sg_os Sim

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer Bytes Char Format Hashtbl List Printf QCheck QCheck_alcotest Sg_components Sg_genstubs Sg_kernel Sg_os Sg_util String Superglue Sys

@@ -1,0 +1,1 @@
+test/test_superglue.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Sg_components Sg_os String Superglue

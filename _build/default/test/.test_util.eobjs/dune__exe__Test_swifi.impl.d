@@ -1,0 +1,1 @@
+test/test_swifi.ml: Alcotest List Sg_components Sg_harness Sg_os Sg_swifi Sg_util String Superglue

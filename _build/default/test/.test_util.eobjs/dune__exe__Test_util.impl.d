@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Gen List QCheck QCheck_alcotest Sg_util String

@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest Gen List QCheck QCheck_alcotest Sg_components Sg_os Sg_web Superglue

@@ -1,0 +1,212 @@
+(* Integration tests: the six system services and their paper workloads,
+   in the base and C3 configurations, without and with forced crashes.
+
+   The "crash every Nth dispatch" tests are the heart of the recovery
+   machinery's validation: the workload must complete with all
+   postconditions intact while its service is repeatedly killed. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+
+let check_clean sys result check =
+  (match result with
+  | Sim.Completed -> ()
+  | r ->
+      Alcotest.failf "[%s] run did not complete: %a" sys.Sysbuild.sys_mode
+        Sim.pp_run_result r);
+  match check () with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "[%s] postconditions violated: %s" sys.Sysbuild.sys_mode
+        (String.concat "; " violations)
+
+let run_workload mode iface iters =
+  let sys = Sysbuild.build mode in
+  let check = Workloads.setup sys ~iface ~iters in
+  let result = Sim.run sys.Sysbuild.sys_sim in
+  (sys, result, check)
+
+let test_base_faultfree iface () =
+  let sys, result, check = run_workload Sysbuild.Base iface 25 in
+  check_clean sys result check
+
+let test_c3_faultfree iface () =
+  let sys, result, check =
+    run_workload (Sysbuild.Stubbed Sysbuild.c3_stubset) iface 25
+  in
+  check_clean sys result check;
+  Alcotest.(check int) "no reboots without faults" 0 (Sim.reboots sys.Sysbuild.sys_sim)
+
+(* Force a crash in the target service every [period]-th dispatch. *)
+let install_crasher sys iface ~period =
+  let target = Sysbuild.cid_of_iface sys iface in
+  let count = ref 0 in
+  Sim.set_on_dispatch sys.Sysbuild.sys_sim
+    (Some
+       (fun sim cid _fn ->
+         if cid = target then begin
+           incr count;
+           if !count mod period = 0 then begin
+             Sim.mark_failed sim cid ~detector:"forced";
+             raise (Comp.Crash { cid; detector = "forced" })
+           end
+         end))
+
+let test_c3_recovers iface period () =
+  let sys = Sysbuild.build (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let check = Workloads.setup sys ~iface ~iters:25 in
+  install_crasher sys iface ~period;
+  let result = Sim.run sys.Sysbuild.sys_sim in
+  check_clean sys result check;
+  let reboots = Sim.reboots sys.Sysbuild.sys_sim in
+  if reboots = 0 then Alcotest.failf "expected at least one micro-reboot";
+  ()
+
+let test_base_crash_is_fatal () =
+  (* without recovery, a crashed system service brings the workload (and
+     thus the system) down — the motivation for the whole paper *)
+  let sys = Sysbuild.build Sysbuild.Base in
+  let _check = Workloads.setup sys ~iface:"fs" ~iters:10 in
+  install_crasher sys "fs" ~period:5;
+  match Sim.run sys.Sysbuild.sys_sim with
+  | Sim.Fatal _ -> ()
+  | r -> Alcotest.failf "expected a fatal run, got %a" Sim.pp_run_result r
+
+let test_c3_tracking_overhead_charged () =
+  (* the same workload must take longer with stubs than without *)
+  let t_base =
+    let sys, result, check = run_workload Sysbuild.Base "fs" 50 in
+    check_clean sys result check;
+    Sim.now sys.Sysbuild.sys_sim
+  in
+  let t_c3 =
+    let sys, result, check =
+      run_workload (Sysbuild.Stubbed Sysbuild.c3_stubset) "fs" 50
+    in
+    check_clean sys result check;
+    Sim.now sys.Sysbuild.sys_sim
+  in
+  if t_c3 <= t_base then
+    Alcotest.failf "C3 run (%d ns) should cost more than base (%d ns)" t_c3 t_base
+
+let test_mm_subtree_after_recovery () =
+  (* build a 3-level alias chain, crash the MM, then release the root:
+     the whole subtree must be revoked through recovery (D0/D1) *)
+  let sys = Sysbuild.build (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let sim = sys.Sysbuild.sys_sim in
+  let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
+  let port = sys.Sysbuild.sys_port ~client:app1 ~iface:"mm" in
+  let module Mm = Sg_components.Mm in
+  let revoked = ref 0 in
+  let _ =
+    Sim.spawn sim ~name:"mm-chain" ~home:app1 (fun sim ->
+        Mm.get_page port sim ~vaddr:0x10000;
+        Mm.alias_page port sim ~svaddr:0x10000 ~dst:app2 ~dvaddr:0x20000;
+        Mm.alias_page port sim ~svaddr:0x10000 ~dst:app1 ~dvaddr:0x30000;
+        (* crash the memory manager: all alias trees are lost *)
+        Sim.mark_failed sim sys.Sysbuild.sys_mm ~detector:"test";
+        revoked := Mm.release_page port sim ~vaddr:0x10000)
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | r -> Alcotest.failf "run failed: %a" Sim.pp_run_result r);
+  Alcotest.(check int) "whole subtree revoked" 3 !revoked;
+  let kernel = Sim.kernel sim in
+  Alcotest.(check int) "no residual kernel mappings" 0
+    (Sg_kernel.Frames.mapping_count kernel.Sg_kernel.Kernel.frames)
+
+let test_fs_data_survives_reboot () =
+  (* write a file, crash the FS, read it back through recovery (G1) *)
+  let sys = Sysbuild.build (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let sim = sys.Sysbuild.sys_sim in
+  let app = sys.Sysbuild.sys_app1 in
+  let port = sys.Sysbuild.sys_port ~client:app ~iface:"fs" in
+  let module Ramfs = Sg_components.Ramfs in
+  let got = ref "" in
+  let _ =
+    Sim.spawn sim ~name:"fs-g1" ~home:app (fun sim ->
+        let fd = Ramfs.tsplit port sim ~parent:Ramfs.root_fd ~name:"data.bin" in
+        ignore (Ramfs.twrite port sim ~fd ~data:"hello");
+        ignore (Ramfs.twrite port sim ~fd ~data:" world");
+        Sim.mark_failed sim sys.Sysbuild.sys_fs ~detector:"test";
+        ignore (Ramfs.tlseek port sim ~fd ~off:0);
+        got := Ramfs.tread port sim ~fd ~len:11)
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | r -> Alcotest.failf "run failed: %a" Sim.pp_run_result r);
+  Alcotest.(check string) "contents restored from storage" "hello world" !got
+
+let test_evt_global_descriptor_recovery () =
+  (* app2 waits on an event, the event manager crashes, app1 triggers it
+     with the stale global id: the server stub must consult the storage
+     component and upcall the creator (G0/U0) *)
+  let sys = Sysbuild.build (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let sim = sys.Sysbuild.sys_sim in
+  let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
+  let port1 = sys.Sysbuild.sys_port ~client:app1 ~iface:"evt" in
+  let port2 = sys.Sysbuild.sys_port ~client:app2 ~iface:"evt" in
+  let module Event = Sg_components.Event in
+  let woke = ref false in
+  let evt_id = ref 0 in
+  let _ =
+    Sim.spawn sim ~prio:5 ~name:"waiter" ~home:app2 (fun sim ->
+        evt_id := Event.split port2 sim ~compid:app2 ~parent:0 ~grp:7;
+        Event.wait port2 sim ~compid:app2 !evt_id;
+        woke := true)
+  in
+  let _ =
+    Sim.spawn sim ~prio:6 ~name:"trigger" ~home:app1 (fun sim ->
+        Sim.yield sim;
+        (* kill the event manager while the waiter is blocked inside *)
+        Sim.mark_failed sim sys.Sysbuild.sys_evt ~detector:"test";
+        (* app1 never created the descriptor: its stub has no record, so
+           recovery must flow through storage + upcall into app2 *)
+        Event.trigger port1 sim ~compid:app1 !evt_id)
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | r -> Alcotest.failf "run failed: %a" Sim.pp_run_result r);
+  Alcotest.(check bool) "waiter woke through recovered event" true !woke
+
+let recovery_case iface period =
+  Alcotest.test_case
+    (Printf.sprintf "%s survives crash every %d dispatches" iface period)
+    `Quick (test_c3_recovers iface period)
+
+let () =
+  let base_cases =
+    List.map
+      (fun iface ->
+        Alcotest.test_case (iface ^ " fault-free") `Quick (test_base_faultfree iface))
+      Workloads.all_ifaces
+  in
+  let c3_cases =
+    List.map
+      (fun iface ->
+        Alcotest.test_case (iface ^ " fault-free") `Quick (test_c3_faultfree iface))
+      Workloads.all_ifaces
+  in
+  let crash_cases =
+    List.concat_map
+      (fun iface -> [ recovery_case iface 7; recovery_case iface 23 ])
+      Workloads.all_ifaces
+  in
+  Alcotest.run "sg_components"
+    [
+      ("base", base_cases);
+      ("c3-faultfree", c3_cases);
+      ("c3-recovery", crash_cases);
+      ( "scenarios",
+        [
+          Alcotest.test_case "base crash is fatal" `Quick test_base_crash_is_fatal;
+          Alcotest.test_case "tracking overhead charged" `Quick
+            test_c3_tracking_overhead_charged;
+          Alcotest.test_case "mm subtree recovery" `Quick test_mm_subtree_after_recovery;
+          Alcotest.test_case "fs data survives reboot" `Quick test_fs_data_survives_reboot;
+          Alcotest.test_case "evt global descriptor recovery" `Quick
+            test_evt_global_descriptor_recovery;
+        ] );
+    ]

@@ -1,0 +1,83 @@
+(* Exhaustive single-crash-point testing: for every service, enumerate
+   every dispatch the fault-free workload performs against it and run one
+   fresh execution per point with exactly one crash injected there. Every
+   such execution must complete with all postconditions intact — a
+   systematic sweep of the recovery state space that random storms only
+   sample. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+
+let count_dispatches mode iface ~iters =
+  let sys = Sysbuild.build mode in
+  let target = Sysbuild.cid_of_iface sys iface in
+  let n = ref 0 in
+  Sim.set_on_dispatch sys.Sysbuild.sys_sim
+    (Some (fun _ cid _ -> if cid = target then incr n));
+  let check = Workloads.setup sys ~iface ~iters in
+  (match Sim.run sys.Sysbuild.sys_sim with
+  | Sim.Completed -> ()
+  | r -> Alcotest.failf "baseline run failed: %a" Sim.pp_run_result r);
+  (match check () with
+  | [] -> ()
+  | v -> Alcotest.failf "baseline violations: %s" (String.concat "; " v));
+  !n
+
+let crash_at mode iface ~iters ~point =
+  let sys = Sysbuild.build mode in
+  let target = Sysbuild.cid_of_iface sys iface in
+  let n = ref 0 in
+  Sim.set_on_dispatch sys.Sysbuild.sys_sim
+    (Some
+       (fun sim cid _ ->
+         if cid = target then begin
+           incr n;
+           if !n = point then begin
+             Sim.mark_failed sim cid ~detector:"crashpoint";
+             raise (Comp.Crash { cid; detector = "crashpoint" })
+           end
+         end));
+  let check = Workloads.setup sys ~iface ~iters in
+  match Sim.run sys.Sysbuild.sys_sim with
+  | Sim.Completed -> check ()
+  | r -> [ Format.asprintf "run: %a" Sim.pp_run_result r ]
+
+let test_every_point mode_name mode iface () =
+  let iters = 6 in
+  let total = count_dispatches mode iface ~iters in
+  if total < 5 then Alcotest.failf "suspiciously few dispatches (%d)" total;
+  let failures = ref [] in
+  for point = 1 to total do
+    match crash_at mode iface ~iters ~point with
+    | [] -> ()
+    | violations ->
+        failures :=
+          Printf.sprintf "point %d/%d: %s" point total
+            (String.concat "; " violations)
+          :: !failures
+  done;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      Alcotest.failf "[%s/%s] %d of %d crash points not recovered: %s"
+        mode_name iface (List.length fs) total
+        (String.concat " | " (List.rev fs))
+
+let () =
+  let cases mode_name mode =
+    List.map
+      (fun iface ->
+        Alcotest.test_case
+          (Printf.sprintf "%s: every crash point recovers" iface)
+          `Quick
+          (test_every_point mode_name mode iface))
+      Workloads.all_ifaces
+  in
+  Alcotest.run "crashpoints"
+    [
+      ("c3", cases "c3" (Sysbuild.Stubbed Sysbuild.c3_stubset));
+      ("superglue", cases "superglue" Superglue.Stubset.mode);
+      ("superglue-gen", cases "superglue-gen" Sg_genstubs.Gen_stubset.mode);
+    ]

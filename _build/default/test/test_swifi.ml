@@ -1,0 +1,133 @@
+(* Tests for the SWIFI injector and campaign driver: determinism,
+   accounting invariants, and statistical agreement with the paper's
+   Table II bands. *)
+
+module Sim = Sg_os.Sim
+module Sysbuild = Sg_components.Sysbuild
+module Workloads = Sg_components.Workloads
+module Injector = Sg_swifi.Injector
+module Campaign = Sg_swifi.Campaign
+module Rng = Sg_util.Rng
+
+let test_injector_counts () =
+  let sys = Sysbuild.build Superglue.Stubset.mode in
+  let sim = sys.Sysbuild.sys_sim in
+  let _check = Workloads.setup sys ~iface:"fs" ~iters:300 in
+  let inj =
+    Injector.create ~target:sys.Sysbuild.sys_fs ~period_ns:15_000
+      ~max_injections:40 ~rng:(Rng.create 5) ()
+  in
+  Injector.install sim inj;
+  ignore (Sim.run sim);
+  let total =
+    List.fold_left
+      (fun acc o -> acc + Injector.count inj o)
+      0
+      [
+        Injector.O_undetected; Injector.O_failstop; Injector.O_segfault;
+        Injector.O_propagated; Injector.O_hang;
+      ]
+  in
+  Alcotest.(check int) "outcomes sum to injections" (Injector.injected inj) total;
+  Alcotest.(check int) "log length matches" (Injector.injected inj)
+    (List.length (Injector.events inj));
+  Alcotest.(check bool) "respects the budget" true (Injector.injected inj <= 40)
+
+let test_injector_only_hits_target () =
+  let sys = Sysbuild.build Superglue.Stubset.mode in
+  let sim = sys.Sysbuild.sys_sim in
+  let _check = Workloads.setup sys ~iface:"lock" ~iters:200 in
+  let inj =
+    Injector.create ~target:sys.Sysbuild.sys_lock ~period_ns:10_000
+      ~max_injections:30 ~rng:(Rng.create 9) ()
+  in
+  Injector.install sim inj;
+  ignore (Sim.run sim);
+  List.iter
+    (fun ev ->
+      let fn = ev.Injector.ev_fn in
+      if not (String.length fn > 5 && String.sub fn 0 5 = "lock_") then
+        Alcotest.failf "injected during foreign dispatch %s" fn)
+    (Injector.events inj)
+
+let test_campaign_deterministic () =
+  let run () =
+    Campaign.run ~seed:3 ~mode:Superglue.Stubset.mode ~iface:"lock"
+      ~injections:80 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same campaign" true (a = b)
+
+let test_campaign_accounting () =
+  List.iter
+    (fun iface ->
+      let r =
+        Campaign.run ~mode:Superglue.Stubset.mode ~iface ~injections:150 ()
+      in
+      Alcotest.(check int) "injected exactly" 150 r.Campaign.r_injected;
+      let accounted =
+        r.Campaign.r_recovered + r.Campaign.r_segfault + r.Campaign.r_propagated
+        + r.Campaign.r_other + r.Campaign.r_undetected
+      in
+      Alcotest.(check int)
+        (iface ^ ": every fault accounted for")
+        r.Campaign.r_injected accounted)
+    Workloads.all_ifaces
+
+(* Statistical reproduction: each service's 500-fault campaign must land
+   within generous bands of the paper's Table II. *)
+let test_campaign_matches_paper iface () =
+  let r = Campaign.run ~mode:Superglue.Stubset.mode ~iface ~injections:500 () in
+  let p =
+    List.find (fun p -> p.Sg_harness.Paper.p_iface = iface) Sg_harness.Paper.table2
+  in
+  let near what got want slack =
+    if abs (got - want) > slack then
+      Alcotest.failf "%s %s: measured %d, paper %d (slack %d)" iface what got
+        want slack
+  in
+  near "recovered" r.Campaign.r_recovered p.Sg_harness.Paper.p_recovered 25;
+  near "segfault" r.Campaign.r_segfault p.Sg_harness.Paper.p_segfault 15;
+  near "undetected" r.Campaign.r_undetected p.Sg_harness.Paper.p_undetected 17;
+  let succ = 100.0 *. Campaign.success_rate r in
+  if abs_float (succ -. p.Sg_harness.Paper.p_success_pct) > 5.0 then
+    Alcotest.failf "%s success rate: %.2f%% vs paper %.2f%%" iface succ
+      p.Sg_harness.Paper.p_success_pct
+
+let test_c3_mode_also_recovers () =
+  let r =
+    Campaign.run
+      ~mode:(Sysbuild.Stubbed Sysbuild.c3_stubset)
+      ~iface:"fs" ~injections:200 ()
+  in
+  Alcotest.(check bool) "c3 recovers the bulk" true
+    (Campaign.success_rate r > 0.85)
+
+let test_base_mode_recovers_nothing () =
+  let r = Campaign.run ~mode:Sysbuild.Base ~iface:"fs" ~injections:100 () in
+  Alcotest.(check int) "no recovery without stubs" 0 r.Campaign.r_recovered
+
+let () =
+  Alcotest.run "sg_swifi"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "outcome accounting" `Quick test_injector_counts;
+          Alcotest.test_case "targets only the victim" `Quick test_injector_only_hits_target;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+          Alcotest.test_case "accounting" `Quick test_campaign_accounting;
+          Alcotest.test_case "c3 recovers" `Quick test_c3_mode_also_recovers;
+          Alcotest.test_case "base does not recover" `Quick test_base_mode_recovers_nothing;
+        ] );
+      ( "paper-bands",
+        List.map
+          (fun iface ->
+            Alcotest.test_case
+              (iface ^ " within Table II bands")
+              `Slow
+              (test_campaign_matches_paper iface))
+          Workloads.all_ifaces );
+    ]

@@ -1,0 +1,127 @@
+(* Unit and property tests for Sg_util. *)
+
+module Rng = Sg_util.Rng
+module Word32 = Sg_util.Word32
+module Stats = Sg_util.Stats
+module Table = Sg_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  (* the split stream must differ from the parent's continuation *)
+  let xs = List.init 8 (fun _ -> Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Rng.int64 c) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_word32_flip () =
+  let w = 0b1010 in
+  Alcotest.(check int) "flip set bit" 0b1000 (Word32.flip_bit w 1);
+  Alcotest.(check int) "flip clear bit" 0b1011 (Word32.flip_bit w 0);
+  Alcotest.(check int) "flip high bit" (0x8000000A) (Word32.flip_bit w 31)
+
+let test_word32_mask () =
+  Alcotest.(check int) "mask truncates" 0x1 (Word32.mask 0x100000001);
+  Alcotest.(check int) "popcount" 8 (Word32.popcount 0xFF);
+  Alcotest.(check string) "hex" "0x000000FF" (Word32.to_hex 0xFF)
+
+let test_stats_basic () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-6)) "stdev" 1.2909944 s.Stats.stdev;
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max
+
+let test_stats_percentile () =
+  let a = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 30.0 (Stats.percentile a 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile a 1.0)
+
+let test_ratio_percent () =
+  Alcotest.(check (float 1e-9)) "slowdown" 10.0
+    (Stats.ratio_percent ~baseline:100.0 ~measured:90.0)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "Comp"; "N" ] [ [ "Sched"; "500" ]; [ "MM"; "9" ] ]
+  in
+  Alcotest.(check bool) "contains header" true (contains s "Comp");
+  Alcotest.(check bool) "contains row" true (contains s "Sched")
+
+(* Property tests *)
+
+let prop_flip_involutive =
+  QCheck.Test.make ~name:"flip_bit is an involution" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 31))
+    (fun (w, i) -> Word32.flip_bit (Word32.flip_bit w i) i = Word32.mask w)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean within min/max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun l ->
+      let s = Stats.summarize l in
+      s.Stats.mean >= s.Stats.min -. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let () =
+  Alcotest.run "sg_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+        ] );
+      ( "word32",
+        [
+          Alcotest.test_case "flip" `Quick test_word32_flip;
+          Alcotest.test_case "mask/popcount/hex" `Quick test_word32_mask;
+          QCheck_alcotest.to_alcotest prop_flip_involutive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "ratio" `Quick test_ratio_percent;
+          QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+    ]

@@ -1,0 +1,113 @@
+(* Tests for the web subsystem: HTTP message handling, the componentized
+   server, the ab-style generator, and throughput under fault storms. *)
+
+module Sim = Sg_os.Sim
+module Sysbuild = Sg_components.Sysbuild
+module Httpmsg = Sg_web.Httpmsg
+module Server = Sg_web.Server
+module Abench = Sg_web.Abench
+
+let test_request_roundtrip () =
+  let text = Httpmsg.render_request ~path:"/a/b.html" () in
+  match Httpmsg.parse_request text with
+  | Ok r ->
+      Alcotest.(check string) "method" "GET" r.Httpmsg.rq_method;
+      Alcotest.(check string) "path" "/a/b.html" r.Httpmsg.rq_path;
+      Alcotest.(check string) "version" "HTTP/1.1" r.Httpmsg.rq_version;
+      Alcotest.(check (option string)) "host header" (Some "localhost")
+        (List.assoc_opt "host" r.Httpmsg.rq_headers)
+  | Error e -> Alcotest.fail e
+
+let test_request_malformed () =
+  (match Httpmsg.parse_request "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty request accepted");
+  match Httpmsg.parse_request "GEThttp nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed request line accepted"
+
+let test_response_roundtrip () =
+  let text = Httpmsg.render_response (Httpmsg.ok ~body:"payload") in
+  match Httpmsg.parse_response text with
+  | Ok r ->
+      Alcotest.(check int) "status" 200 r.Httpmsg.rs_status;
+      Alcotest.(check string) "body" "payload" r.Httpmsg.rs_body
+  | Error e -> Alcotest.fail e
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request paths round-trip" ~count:200
+    QCheck.(string_gen_of_size (Gen.int_range 1 40) (Gen.char_range 'a' 'z'))
+    (fun path ->
+      let text = Httpmsg.render_request ~path:("/" ^ path) () in
+      match Httpmsg.parse_request text with
+      | Ok r -> r.Httpmsg.rq_path = "/" ^ path
+      | Error _ -> false)
+
+let run_server mode ~fault_period_ns ~requests =
+  let sys = Sysbuild.build mode in
+  let server = Server.install sys in
+  let r = Abench.run ?fault_period_ns ~requests sys server in
+  (sys, server, r)
+
+let test_server_serves () =
+  let _, server, r =
+    run_server Sysbuild.Base ~fault_period_ns:None ~requests:500
+  in
+  Alcotest.(check int) "no errors" 0 r.Abench.ab_errors;
+  Alcotest.(check int) "all served" 500 !(server.Server.ws_served);
+  Alcotest.(check bool) "logger kept up" true (!(server.Server.ws_logged) >= 500);
+  Alcotest.(check bool) "throughput positive" true (r.Abench.ab_rps > 0.0)
+
+let test_server_survives_fault_storm () =
+  let sys, _, r =
+    run_server Superglue.Stubset.mode
+      ~fault_period_ns:(Some 3_000_000) ~requests:2_000
+  in
+  Alcotest.(check int) "no errors despite crashes" 0 r.Abench.ab_errors;
+  Alcotest.(check bool) "several crashes injected" true (r.Abench.ab_faults >= 5);
+  Alcotest.(check bool) "micro-reboots happened" true
+    (Sim.reboots sys.Sysbuild.sys_sim >= r.Abench.ab_faults)
+
+let test_base_dies_under_faults () =
+  match
+    run_server Sysbuild.Base ~fault_period_ns:(Some 3_000_000) ~requests:2_000
+  with
+  | _ -> Alcotest.fail "base system should not survive service crashes"
+  | exception Failure _ -> ()
+
+let test_stub_modes_cost_more () =
+  let rps mode =
+    let _, _, r = run_server mode ~fault_period_ns:None ~requests:2_000 in
+    r.Abench.ab_rps
+  in
+  let base = rps Sysbuild.Base in
+  let c3 = rps (Sysbuild.Stubbed Sysbuild.c3_stubset) in
+  let sg = rps Superglue.Stubset.mode in
+  if not (base > c3 && c3 > sg) then
+    Alcotest.failf "expected base > c3 > superglue, got %.0f / %.0f / %.0f" base
+      c3 sg
+
+let test_apache_reference () =
+  let r = Abench.apache_reference ~requests:1000 in
+  Alcotest.(check bool) "around the paper's 17600" true
+    (r.Abench.ab_rps > 17_000.0 && r.Abench.ab_rps < 18_500.0)
+
+let () =
+  Alcotest.run "sg_web"
+    [
+      ( "httpmsg",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_request_malformed;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serves requests" `Quick test_server_serves;
+          Alcotest.test_case "survives fault storm" `Quick test_server_survives_fault_storm;
+          Alcotest.test_case "base dies under faults" `Quick test_base_dies_under_faults;
+          Alcotest.test_case "stub cost ordering" `Quick test_stub_modes_cost_more;
+          Alcotest.test_case "apache reference" `Quick test_apache_reference;
+        ] );
+    ]
