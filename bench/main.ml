@@ -196,6 +196,68 @@ let ablation () =
   hr "Ablation: eager vs on-demand recovery";
   Sg_harness.Ablation.print ()
 
+(* Crash-storm every interface in both stub modes with full event
+   retention, validate the stream against the recovery invariants, and
+   print the metrics fold of the last run. *)
+let obs () =
+  hr "Observability: crash-storm event streams + invariant checker";
+  let last_metrics = ref None in
+  Printf.printf "%-10s %-6s %8s %8s %7s %7s %10s\n" "mode" "iface" "events"
+    "spans" "reboots" "walks" "violations";
+  List.iter
+    (fun (mode_name, mode) ->
+      List.iter
+        (fun iface ->
+          let sys = Sysbuild.build mode in
+          let sim = sys.Sysbuild.sys_sim in
+          Sg_obs.Sink.set_retention (Sim.obs sim) Sg_obs.Sink.All;
+          let check = Workloads.setup sys ~iface ~iters:30 in
+          let target = Sysbuild.cid_of_iface sys iface in
+          let count = ref 0 in
+          Sim.set_on_dispatch sim
+            (Some
+               (fun sim cid _ ->
+                 if cid = target then begin
+                   incr count;
+                   if !count mod 7 = 0 then begin
+                     Sim.mark_failed sim cid ~detector:"storm";
+                     raise (Sg_os.Comp.Crash { cid; detector = "storm" })
+                   end
+                 end));
+          (match Sim.run sim with
+          | Sim.Completed -> ()
+          | r -> failwith (Format.asprintf "obs %s: %a" iface Sim.pp_run_result r));
+          (match check () with
+          | [] -> ()
+          | v -> failwith ("obs " ^ iface ^ ": " ^ String.concat "; " v));
+          let events = Sg_obs.Sink.events (Sim.obs sim) in
+          let violations =
+            Sg_obs.Check.run ~mode:`Ondemand ~completed:true events
+          in
+          let m = Sim.metrics sim in
+          last_metrics := Some m;
+          Printf.printf "%-10s %-6s %8d %8d %7d %7d %10d\n" mode_name iface
+            (List.length events)
+            (Sg_obs.Metrics.invocations m)
+            (Sg_obs.Metrics.reboots m)
+            (Sg_obs.Metrics.walks m)
+            (List.length violations);
+          List.iteri
+            (fun i v ->
+              if i < 5 then
+                Format.printf "    %a@." Sg_obs.Check.pp_violation v)
+            violations)
+        Workloads.all_ifaces)
+    [
+      ("c3", Sysbuild.Stubbed Sysbuild.c3_stubset);
+      ("superglue", Superglue.Stubset.mode);
+    ];
+  match !last_metrics with
+  | None -> ()
+  | Some m ->
+      print_endline "\nmetrics fold of the last run:";
+      Format.printf "%a@?" Sg_obs.Metrics.pp_summary m
+
 let all =
   [
     ("fig6a", fig6a);
@@ -204,6 +266,7 @@ let all =
     ("table2", table2);
     ("fig7", fig7);
     ("ablation", ablation);
+    ("obs", obs);
     ("micro", micro);
   ]
 

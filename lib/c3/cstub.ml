@@ -58,7 +58,11 @@ let walk_invoke sim t fn args =
       ensure_alive sim t.sb_server;
       raise Walk_interrupted
 
-let rec recover_desc ?(even_dead = false) sim t d =
+let rec recover_desc ?(even_dead = false) ?(reason = Sg_obs.Event.Demand) sim t d =
+  let walk_end ok =
+    Sim.emit sim
+      (Sg_obs.Event.Walk_end { client = t.sb_client; server = t.sb_server; ok })
+  in
   let rec go attempt =
     if attempt > max_retries then
       failwith
@@ -70,7 +74,16 @@ let rec recover_desc ?(even_dead = false) sim t d =
          that re-enter this stub's tracking *)
       d.Tracker.d_epoch <- ep;
       t.sb_recoveries <- t.sb_recoveries + 1;
-      try
+      Sim.emit sim
+        (Sg_obs.Event.Walk_begin
+           {
+             client = t.sb_client;
+             server = t.sb_server;
+             iface = t.sb_cfg.cfg_iface;
+             desc = d.Tracker.d_id;
+             reason;
+           });
+      match
         let parent_id d =
           (* D1: parents are recovered root-first before the walk can
              replay the creation that depends on them *)
@@ -82,7 +95,7 @@ let rec recover_desc ?(even_dead = false) sim t d =
                   (* Y_dr: a closed parent's kept record is still walked
                      (without resurrecting it) so the child's creation
                      chain can be replayed *)
-                  recover_desc ~even_dead:true sim t p;
+                  recover_desc ~even_dead:true ~reason:Sg_obs.Event.Dep sim t p;
                   p.Tracker.d_server_id
               | None -> pid)
           | Some (Tracker.Cross { client; id }) -> (
@@ -103,22 +116,43 @@ let rec recover_desc ?(even_dead = false) sim t d =
             w_recover_local =
               (fun id ->
                 match Tracker.find t.sb_tracker id with
-                | Some p -> recover_desc sim t p
+                | Some p -> recover_desc ~reason:Sg_obs.Event.Dep sim t p
                 | None -> ());
           }
         in
         t.sb_cfg.cfg_walk sim wctx d;
         (* the stub updates its tracking record post-recovery *)
         Tracker.track_charge t.sb_tracker sim
-      with Walk_interrupted ->
-        d.Tracker.d_epoch <- -1;
-        go (attempt + 1)
+      with
+      | () -> walk_end true
+      | exception Walk_interrupted ->
+          walk_end false;
+          d.Tracker.d_epoch <- -1;
+          go (attempt + 1)
+      | exception e ->
+          walk_end false;
+          raise e
     end
   in
   go 0
 
 let recover_all sim t =
-  List.iter (fun d -> recover_desc sim t d) (Tracker.live t.sb_tracker)
+  Sim.emit sim
+    (Sg_obs.Event.Recover_begin
+       { client = t.sb_client; server = t.sb_server; iface = t.sb_cfg.cfg_iface });
+  let recover_end () =
+    Sim.emit sim
+      (Sg_obs.Event.Recover_end { client = t.sb_client; server = t.sb_server })
+  in
+  match
+    List.iter
+      (fun d -> recover_desc ~reason:Sg_obs.Event.Eager sim t d)
+      (Tracker.live t.sb_tracker)
+  with
+  | () -> recover_end ()
+  | exception e ->
+      recover_end ();
+      raise e
 
 (* CSTUB_FAULT_UPDATE: booter recovery plus, in eager mode, immediate
    recovery of the entire tracked state. *)
@@ -251,7 +285,7 @@ let make sim ~client ~server ~flavor cfg =
       | [ Comp.VInt id ] -> (
           match Tracker.find t.sb_tracker id with
           | Some d when d.Tracker.d_live ->
-              recover_desc sim t d;
+              recover_desc ~reason:Sg_obs.Event.Upcall_driven sim t d;
               Ok (Comp.VInt d.Tracker.d_server_id)
           | Some _ | None -> Error Comp.ENOENT)
       | _ -> Error Comp.EINVAL);

@@ -93,15 +93,19 @@ val client : t -> Sg_os.Comp.cid
 val ensure_alive : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit
 (** Micro-reboot the component via the booter if it is failed. *)
 
-val recover_desc : ?even_dead:bool -> Sg_os.Sim.t -> t -> Tracker.desc -> unit
+val recover_desc :
+  ?even_dead:bool -> ?reason:Sg_obs.Event.reason -> Sg_os.Sim.t -> t ->
+  Tracker.desc -> unit
 (** On-demand (T1) recovery of one descriptor: no-op if its epoch matches
     the server's; otherwise recover its parent first (D1, possibly via a
     cross-component upcall) and replay its walk (R0). [even_dead] walks a
     closed-but-kept record (Y_dr) without resurrecting it, so children
-    can still be recovered through their parent chain. *)
+    can still be recovered through their parent chain. [reason] tags the
+    emitted {!Sg_obs.Event.Walk_begin} (default [Demand]). *)
 
 val recover_all : Sg_os.Sim.t -> t -> unit
-(** Eager recovery of every live descriptor. *)
+(** Eager recovery of every live descriptor, bracketed by
+    [Recover_begin]/[Recover_end] events (T0 episode). *)
 
 val recoveries : t -> int
 (** Number of descriptor walks performed (statistics). *)

@@ -1,7 +1,6 @@
 module Sim = Sg_os.Sim
 module Sysbuild = Sg_components.Sysbuild
 module Ramfs = Sg_components.Ramfs
-module Cstub = Sg_c3.Cstub
 module Clock = Sg_kernel.Clock
 module Table = Sg_util.Table
 
@@ -32,8 +31,8 @@ let measure ~mode_name ~mode ~descriptors =
         (* the latency-sensitive descriptor *)
         let own = Ramfs.tsplit port sim ~parent:Ramfs.root_fd ~name:"hot.dat" in
         ignore (Ramfs.twrite port sim ~fd:own ~data:"hot");
-        let stub = Option.get (sys.Sysbuild.sys_stub ~client:app ~iface:"fs") in
-        let walks_before = Cstub.recoveries stub in
+        let m = Sim.metrics sim in
+        let walks_before = Sg_obs.Metrics.walks ~client:app m in
         (* the transient fault *)
         Sim.mark_failed sim sys.Sysbuild.sys_fs ~detector:"ablation";
         (* first post-fault access: how long until this thread has its
@@ -42,7 +41,7 @@ let measure ~mode_name ~mode ~descriptors =
         ignore (Ramfs.tlseek port sim ~fd:own ~off:0);
         let got = Ramfs.tread port sim ~fd:own ~len:3 in
         latency := Clock.us_of_ns (Sim.now sim - t0);
-        walks := Cstub.recoveries stub - walks_before;
+        walks := Sg_obs.Metrics.walks ~client:app m - walks_before;
         if got <> "hot" then failwith "ablation: wrong contents after recovery")
   in
   (match Sim.run sim with

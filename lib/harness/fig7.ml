@@ -18,7 +18,7 @@ let one_run ~mode ~requests ~seed ~fault_period_ns =
   let sys = Sysbuild.build ~seed mode in
   let server = Server.install sys in
   let r = Abench.run ?fault_period_ns ~requests sys server in
-  (r, Sim.reboots sys.Sysbuild.sys_sim)
+  (r, Sg_obs.Metrics.reboots (Sim.metrics sys.Sysbuild.sys_sim))
 
 let config ~name ~mode ~requests ~reps ~fault_period_ns =
   let runs =

@@ -1,0 +1,288 @@
+(* Trace-invariant checker: validates a full event stream (retention
+   [All]) against the recovery-ordering rules of the paper. The checker
+   is a single forward fold; each rule keeps a small amount of state
+   keyed by component or thread. *)
+
+type violation = { at_seq : int; rule : string; msg : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "#%d [%s] %s" v.at_seq v.rule v.msg
+
+type span_info = { si_server : int; si_tid : int; si_begun_failed : bool }
+
+type expectation =
+  | Expect_crash of int  (* failstop: next event on tid is Crash cid *)
+  | Expect_crash_or_fault of int  (* hang: Crash cid or a faulted span end *)
+  | Expect_fault  (* segfault/propagated: next event on tid ends a span faulted *)
+
+type state = {
+  mutable last_seq : int;
+  mutable last_at : int;
+  failed : (int, string) Hashtbl.t;  (* cid -> detector while failed *)
+  spans : (int, span_info) Hashtbl.t;  (* open span id -> info *)
+  span_stacks : (int, int list ref) Hashtbl.t;  (* tid -> open span ids, LIFO *)
+  pending_divert : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* tid -> span ids that must unwind faulted before the tid begins
+         a new span *)
+  walk_stacks : (int, (int * int) list ref) Hashtbl.t;
+      (* tid -> open (client, server) walks, LIFO *)
+  recover_depth : (int, int ref) Hashtbl.t;  (* tid -> open recover episodes *)
+  expects : (int, expectation) Hashtbl.t;  (* tid -> pending injection fate *)
+  mutable violations : violation list;  (* newest first *)
+}
+
+let init () =
+  {
+    last_seq = -1;
+    last_at = 0;
+    failed = Hashtbl.create 8;
+    spans = Hashtbl.create 64;
+    span_stacks = Hashtbl.create 16;
+    pending_divert = Hashtbl.create 8;
+    walk_stacks = Hashtbl.create 8;
+    recover_depth = Hashtbl.create 8;
+    expects = Hashtbl.create 8;
+    violations = [];
+  }
+
+let report st ~seq rule fmt =
+  Printf.ksprintf
+    (fun msg -> st.violations <- { at_seq = seq; rule; msg } :: st.violations)
+    fmt
+
+let stack_of tbl tid =
+  match Hashtbl.find_opt tbl tid with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace tbl tid s;
+      s
+
+let depth_of st tid =
+  match Hashtbl.find_opt st.recover_depth tid with
+  | Some d -> d
+  | None ->
+      let d = ref 0 in
+      Hashtbl.replace st.recover_depth tid d;
+      d
+
+(* the injector's fate expectation for this thread, resolved by the
+   current event: a detected crash of the target, or the span unwinding
+   faulted, depending on outcome class *)
+let resolve_expectation st ~seq ~tid (kind : Event.kind) =
+  match Hashtbl.find_opt st.expects tid with
+  | None -> ()
+  | Some exp -> (
+      Hashtbl.remove st.expects tid;
+      let ok =
+        match (exp, kind) with
+        | Expect_crash want, Event.Crash { cid; _ } -> cid = want
+        | Expect_crash_or_fault want, Event.Crash { cid; _ } -> cid = want
+        | Expect_crash_or_fault _, Event.Span_end { ok = false; _ } -> true
+        | Expect_fault, Event.Span_end { ok = false; _ } -> true
+        | _ -> false
+      in
+      if not ok then
+        report st ~seq "inject-accounting"
+          "tid %d: activated injection not followed by its detection \
+           (next event: %s)"
+          tid (Event.kind_name kind))
+
+let step st (e : Event.t) =
+  let seq = e.Event.seq and tid = e.Event.tid in
+  (* monotone sequence numbers and virtual timestamps *)
+  if seq <= st.last_seq then
+    report st ~seq "monotone-time" "seq %d after seq %d" seq st.last_seq;
+  if e.Event.at_ns < st.last_at then
+    report st ~seq "monotone-time" "virtual time went backwards: %d ns after %d ns"
+      e.Event.at_ns st.last_at;
+  st.last_seq <- seq;
+  st.last_at <- max st.last_at e.Event.at_ns;
+  resolve_expectation st ~seq ~tid e.Event.kind;
+  match e.Event.kind with
+  | Event.Crash { cid; detector } ->
+      (match Hashtbl.find_opt st.failed cid with
+      | Some prev ->
+          report st ~seq "crash-reboot-alternation"
+            "component %d crashed (%s) while already failed (%s) without a \
+             micro-reboot in between"
+            cid detector prev
+      | None -> ());
+      Hashtbl.replace st.failed cid detector
+  | Event.Reboot { cid; _ } ->
+      if not (Hashtbl.mem st.failed cid) then
+        report st ~seq "crash-reboot-alternation"
+          "component %d micro-rebooted without a preceding detected crash" cid;
+      Hashtbl.remove st.failed cid
+  | Event.Span_begin { span; server; _ } ->
+      (match Hashtbl.find_opt st.pending_divert tid with
+      | Some pending when Hashtbl.length pending > 0 ->
+          report st ~seq "divert-unwind"
+            "tid %d began span %d with %d diverted span(s) still open" tid span
+            (Hashtbl.length pending)
+      | _ -> ());
+      if Hashtbl.mem st.spans span then
+        report st ~seq "span-nesting" "span id %d begun twice" span;
+      Hashtbl.replace st.spans span
+        {
+          si_server = server;
+          si_tid = tid;
+          si_begun_failed = Hashtbl.mem st.failed server;
+        };
+      let stack = stack_of st.span_stacks tid in
+      stack := span :: !stack
+  | Event.Span_end { span; server; ok } ->
+      (match Hashtbl.find_opt st.spans span with
+      | None -> report st ~seq "span-nesting" "span %d ended but never begun" span
+      | Some info ->
+          Hashtbl.remove st.spans span;
+          if info.si_tid <> tid then
+            report st ~seq "span-nesting"
+              "span %d begun on tid %d but ended on tid %d" span info.si_tid tid;
+          (* a span that started against (or into) a failed incarnation
+             must not complete successfully: recovery requires the
+             micro-reboot first *)
+          if ok && info.si_begun_failed then
+            report st ~seq "no-success-while-failed"
+              "span %d into component %d begun while failed but ended ok" span
+              server;
+          (match stack_of st.span_stacks tid with
+          | { contents = top :: rest } as stack when top = span -> stack := rest
+          | { contents = top :: _ } ->
+              report st ~seq "span-nesting"
+                "tid %d ended span %d but its innermost open span is %d" tid
+                span top
+          | _ ->
+              report st ~seq "span-nesting"
+                "tid %d ended span %d with no span open" tid span));
+      if ok && Hashtbl.mem st.failed server then
+        report st ~seq "no-success-while-failed"
+          "successful invocation of component %d while it is failed \
+           (crash not yet followed by its micro-reboot)"
+          server;
+      (match Hashtbl.find_opt st.pending_divert tid with
+      | Some pending when Hashtbl.mem pending span ->
+          Hashtbl.remove pending span;
+          if ok then
+            report st ~seq "divert-unwind"
+              "diverted span %d (tid %d) completed ok instead of unwinding" span
+              tid
+      | _ -> ())
+  | Event.Divert { cid; victim } ->
+      (* the victim's open spans into the rebooted component must unwind
+         (end faulted) before the victim re-enters any server *)
+      let pending =
+        match Hashtbl.find_opt st.pending_divert victim with
+        | Some p -> p
+        | None ->
+            let p = Hashtbl.create 4 in
+            Hashtbl.replace st.pending_divert victim p;
+            p
+      in
+      List.iter
+        (fun span ->
+          match Hashtbl.find_opt st.spans span with
+          | Some info when info.si_server = cid -> Hashtbl.replace pending span ()
+          | _ -> ())
+        !(stack_of st.span_stacks victim)
+  | Event.Walk_begin { client; server; reason; _ } -> (
+      let stack = stack_of st.walk_stacks tid in
+      stack := (client, server) :: !stack;
+      let d = !(depth_of st tid) in
+      match reason with
+      | Event.Eager ->
+          if d = 0 then
+            report st ~seq "walk-discipline"
+              "eager (T0) walk %d->%d outside a recover-all episode" client
+              server
+      | Event.Demand ->
+          if d > 0 then
+            report st ~seq "walk-discipline"
+              "on-demand (T1) walk %d->%d inside a recover-all episode" client
+              server
+      | Event.Dep | Event.Upcall_driven -> ())
+  | Event.Walk_end { client; server; _ } -> (
+      match stack_of st.walk_stacks tid with
+      | { contents = (c, s) :: rest } as stack ->
+          stack := rest;
+          if c <> client || s <> server then
+            report st ~seq "walk-discipline"
+              "walk end %d->%d does not match innermost open walk %d->%d"
+              client server c s
+      | _ ->
+          report st ~seq "walk-discipline" "walk end %d->%d with no walk open"
+            client server)
+  | Event.Recover_begin _ -> incr (depth_of st tid)
+  | Event.Recover_end _ ->
+      let d = depth_of st tid in
+      if !d = 0 then
+        report st ~seq "walk-discipline"
+          "recover-all episode ended on tid %d but none was open" tid
+      else decr d
+  | Event.Inject { cid; outcome; _ } -> (
+      match outcome with
+      | "failstop" -> Hashtbl.replace st.expects tid (Expect_crash cid)
+      | "hang" -> Hashtbl.replace st.expects tid (Expect_crash_or_fault cid)
+      | "segfault" | "propagated" -> Hashtbl.replace st.expects tid Expect_fault
+      | "undetected" -> ()
+      | o ->
+          report st ~seq "inject-accounting" "unknown injection outcome %S" o)
+  | Event.Upcall _ | Event.Reflect _ | Event.Storage_op _ | Event.Http _
+  | Event.Note _ ->
+      ()
+
+let check_mode st ~mode (e : Event.t) =
+  match (mode, e.Event.kind) with
+  | `Ondemand, Event.Walk_begin { client; server; reason = Event.Eager; _ } ->
+      report st ~seq:e.Event.seq "walk-discipline"
+        "eager (T0) walk %d->%d in on-demand (T1) mode" client server
+  | `Ondemand, Event.Recover_begin { client; server; _ } ->
+      report st ~seq:e.Event.seq "walk-discipline"
+        "recover-all episode %d->%d in on-demand (T1) mode" client server
+  | _ -> ()
+
+let finish st ~completed =
+  if completed then begin
+    let seq = st.last_seq in
+    Hashtbl.iter
+      (fun span info ->
+        report st ~seq "end-of-stream" "span %d (tid %d, server %d) never ended"
+          span info.si_tid info.si_server)
+      st.spans;
+    Hashtbl.iter
+      (fun tid stack ->
+        List.iter
+          (fun (c, s) ->
+            report st ~seq "end-of-stream" "walk %d->%d (tid %d) never ended" c s
+              tid)
+          !stack)
+      st.walk_stacks;
+    Hashtbl.iter
+      (fun tid d ->
+        if !d > 0 then
+          report st ~seq "end-of-stream"
+            "%d recover-all episode(s) still open on tid %d" !d tid)
+      st.recover_depth;
+    Hashtbl.iter
+      (fun tid pending ->
+        if Hashtbl.length pending > 0 then
+          report st ~seq "end-of-stream"
+            "tid %d still has %d diverted span(s) that never unwound" tid
+            (Hashtbl.length pending))
+      st.pending_divert;
+    Hashtbl.iter
+      (fun tid _ ->
+        report st ~seq "end-of-stream"
+          "tid %d: activated injection with no subsequent detection record" tid)
+      st.expects
+  end;
+  List.rev st.violations
+
+let run ?mode ?(completed = false) events =
+  let st = init () in
+  List.iter
+    (fun e ->
+      step st e;
+      match mode with Some m -> check_mode st ~mode:m e | None -> ())
+    events;
+  finish st ~completed

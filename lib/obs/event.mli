@@ -1,0 +1,60 @@
+(** Structured observability events.
+
+    Component ids and thread ids are plain ints here: [sg_obs] sits
+    below [sg_os] (the simulator emits into it), so it cannot depend on
+    the simulator's types. *)
+
+type reason =
+  | Demand  (** T1: walk triggered by the call touching the descriptor *)
+  | Eager  (** T0: walk performed by a recover-all episode at fault time *)
+  | Dep  (** walk of a parent/sibling required by another walk (D0/D1) *)
+  | Upcall_driven  (** walk driven through a recovery upcall (U0/G0) *)
+
+val reason_to_string : reason -> string
+val reason_of_string : string -> reason option
+
+type kind =
+  | Span_begin of { span : int; client : int; server : int; fn : string }
+      (** a synchronous invocation entered the server *)
+  | Span_end of { span : int; server : int; ok : bool }
+      (** the invocation returned ([ok]) or unwound on an exception *)
+  | Crash of { cid : int; detector : string }  (** fault detected *)
+  | Reboot of { cid : int; epoch : int; image_kb : int; cost_ns : int }
+  | Divert of { cid : int; victim : int }
+      (** thread [victim] was flagged to unwind out of rebooted [cid] *)
+  | Upcall of { cid : int; fn : string }
+  | Reflect of { cid : int; fn : string }
+  | Walk_begin of {
+      client : int;
+      server : int;
+      iface : string;
+      desc : int;
+      reason : reason;
+    }  (** descriptor recovery walk (R0) *)
+  | Walk_end of { client : int; server : int; ok : bool }
+      (** [ok = false]: interrupted by a fresh fault and restarted *)
+  | Recover_begin of { client : int; server : int; iface : string }
+      (** eager recover-all episode (T0) *)
+  | Recover_end of { client : int; server : int }
+  | Storage_op of { op : string; space : string; id : int }
+  | Inject of {
+      cid : int;
+      fn : string;
+      reg : string;
+      bit : int;
+      outcome : string;
+    }  (** SWIFI bit-flip activated, with its classified outcome *)
+  | Http of { cid : int; path : string; status : int }
+  | Note of { name : string; data : string }  (** free-form annotation *)
+
+type t = { seq : int; at_ns : int; tid : int; kind : kind }
+
+val kind_name : kind -> string
+
+val is_recovery_core : kind -> bool
+(** The kinds kept in the always-on bounded ring backing [Sim.trace]. *)
+
+val is_recovery_relevant : kind -> bool
+(** The kinds retained under the [Recovery] retention policy. *)
+
+val pp : Format.formatter -> t -> unit

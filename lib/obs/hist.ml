@@ -1,0 +1,74 @@
+(* Log2-bucketed histogram for virtual-time durations. Bucket [i] holds
+   values whose bit length is [i] (i.e. 2^(i-1) <= v < 2^i), with all
+   non-positive values in bucket 0. Cheap, fixed-size, and exact enough
+   for latency distributions spanning nanoseconds to seconds. *)
+
+let buckets = 64
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; n = 0; sum = 0; min_v = max_int; max_v = min_int }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (buckets - 1) (bits 0 v)
+  end
+
+(* inclusive upper bound of a bucket's value range *)
+let bucket_upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let add t v =
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let n t = t.n
+let sum t = t.sum
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = if t.n = 0 then 0 else t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let target =
+      let x = int_of_float (ceil (p *. float_of_int t.n)) in
+      if x < 1 then 1 else x
+    in
+    let rec go i acc =
+      if i >= buckets then t.max_v
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= target then min (bucket_upper i) t.max_v else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let clear t =
+  Array.fill t.counts 0 buckets 0;
+  t.n <- 0;
+  t.sum <- 0;
+  t.min_v <- max_int;
+  t.max_v <- min_int
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f min=%d p50=%d p99=%d max=%d" t.n
+      (mean t) (min_value t)
+      (percentile t 0.50)
+      (percentile t 0.99)
+      (max_value t)

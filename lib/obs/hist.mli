@@ -1,0 +1,23 @@
+(** Fixed-size log2-bucket histogram for virtual-time durations.
+
+    Bucket [i] covers values with bit length [i] (2^(i-1) <= v < 2^i);
+    non-positive values land in bucket 0. Percentiles report the
+    bucket's inclusive upper bound, clamped to the observed maximum. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val n : t -> int
+val sum : t -> int
+val mean : t -> float
+val min_value : t -> int
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0;1]; 0 on an empty histogram. *)
+
+val bucket_of : int -> int
+val bucket_upper : int -> int
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

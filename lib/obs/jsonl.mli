@@ -1,0 +1,17 @@
+(** JSON-lines codec for event streams.
+
+    One flat JSON object per line, with only string/int/bool fields, so
+    the format stays greppable and the parser stays dependency-free.
+    [of_string (to_string e) = e] for every event. *)
+
+exception Parse_error of string
+
+val to_string : Event.t -> string
+(** One line, no trailing newline. *)
+
+val of_string : string -> Event.t
+(** Raises {!Parse_error} on malformed input. *)
+
+val dump : out_channel -> Event.t list -> unit
+val load : in_channel -> Event.t list
+(** Reads to EOF, skipping blank lines; raises {!Parse_error}. *)

@@ -1,0 +1,50 @@
+(** Recovery metrics folded from the event stream.
+
+    A {!t} is a pure consumer: attach it to a sink (or {!feed} it events
+    replayed from a JSON-lines dump) and read counters and histograms.
+    Counters mirror what the harnesses previously kept privately:
+    invocations per server, crash/reboot accounting, descriptor walks
+    per client, SWIFI outcome tallies, and latency histograms for
+    invocation spans, walks, first post-reboot access, and reboot
+    cost. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Event.t -> unit
+(** Fold one event. Order matters for histogram pairing. *)
+
+val attach : t -> Sink.t -> unit
+(** Subscribe [feed] to a sink. *)
+
+val invocations : ?cid:int -> t -> int
+(** Total invocation spans begun, or those entering server [cid]. *)
+
+val reboots : ?cid:int -> t -> int
+val crashes : ?cid:int -> t -> int
+
+val walks : ?client:int -> ?server:int -> t -> int
+(** Descriptor walks, total or filtered by one side. *)
+
+val spans_ok : t -> int
+val spans_fault : t -> int
+val upcalls : t -> int
+val diverts : t -> int
+val reflects : t -> int
+val storage_ops : t -> int
+val injections : t -> int
+val outcome_count : t -> string -> int
+val reboot_ns_total : t -> int
+val http_requests : t -> int
+val http_errors : t -> int
+val span_hist : t -> Hist.t
+val walk_hist : t -> Hist.t
+
+val first_access_hist : t -> Hist.t
+(** Virtual ns from a component's micro-reboot to the first subsequent
+    successful invocation of it (the paper's first-access recovery
+    latency). *)
+
+val reboot_cost_hist : t -> Hist.t
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* The pluggable event sink. Every emission stamps a global sequence
+   number, notifies subscribers, feeds a small always-on ring of
+   recovery-core events (backing the legacy [Sim.trace] view), and —
+   per the retention policy — appends to the full in-order log. *)
+
+type retention = All | Recovery | Nothing
+
+type t = {
+  mutable retention : retention;
+  mutable next_seq : int;
+  mutable log : Event.t list;  (* newest first *)
+  mutable log_len : int;
+  mutable ring : Event.t list;  (* newest first, bounded *)
+  mutable ring_len : int;
+  mutable subscribers : (Event.t -> unit) list;
+}
+
+let ring_capacity = 512
+
+let create ?(retention = Recovery) () =
+  {
+    retention;
+    next_seq = 0;
+    log = [];
+    log_len = 0;
+    ring = [];
+    ring_len = 0;
+    subscribers = [];
+  }
+
+let retention t = t.retention
+let set_retention t r = t.retention <- r
+let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let retains t kind =
+  match t.retention with
+  | All -> true
+  | Recovery -> Event.is_recovery_relevant kind
+  | Nothing -> false
+
+let emit t ~at_ns ~tid kind =
+  let e = { Event.seq = t.next_seq; at_ns; tid; kind } in
+  t.next_seq <- t.next_seq + 1;
+  if Event.is_recovery_core kind then begin
+    t.ring <- e :: t.ring;
+    t.ring_len <- t.ring_len + 1;
+    (* amortized prune, mirroring the original Sim trace ring *)
+    if t.ring_len > 2 * ring_capacity then begin
+      t.ring <- List.filteri (fun i _ -> i < ring_capacity) t.ring;
+      t.ring_len <- ring_capacity
+    end
+  end;
+  if retains t kind then begin
+    t.log <- e :: t.log;
+    t.log_len <- t.log_len + 1
+  end;
+  List.iter (fun f -> f e) t.subscribers
+
+let count t = t.log_len
+let events t = List.rev t.log
+
+let recovery_recent t =
+  List.filteri (fun i _ -> i < ring_capacity) t.ring
+
+let clear t =
+  t.log <- [];
+  t.log_len <- 0;
+  t.ring <- [];
+  t.ring_len <- 0

@@ -1,0 +1,43 @@
+(** Pluggable structured-event sink.
+
+    A sink timestamps and sequence-numbers every {!Event.t}, fans it out
+    to subscribers (metrics, live checkers, exporters), and retains
+    events per policy:
+
+    - [All] keeps the full in-order stream — what {!Check.run} and
+      [sgtrace dump] want; unbounded, so opt in per run.
+    - [Recovery] (default) keeps only recovery-relevant events (crashes,
+      reboots, diverts, walks, upcalls, injections) — bounded in
+      practice by fault activity, not by request volume.
+    - [Nothing] keeps no log; subscribers still see everything.
+
+    Independent of the policy, a bounded 512-entry ring of
+    crash/reboot/upcall events is always maintained; it backs the legacy
+    [Sim.trace] API. *)
+
+type retention = All | Recovery | Nothing
+
+type t
+
+val create : ?retention:retention -> unit -> t
+val retention : t -> retention
+val set_retention : t -> retention -> unit
+
+val emit : t -> at_ns:int -> tid:int -> Event.kind -> unit
+(** Stamp, retain per policy, and notify all subscribers. *)
+
+val subscribe : t -> (Event.t -> unit) -> unit
+(** Called synchronously on every emission, regardless of retention. *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val count : t -> int
+(** Number of retained events. *)
+
+val recovery_recent : t -> Event.t list
+(** The always-on bounded ring of crash/reboot/upcall events, newest
+    first; at most {!ring_capacity} entries. *)
+
+val ring_capacity : int
+val clear : t -> unit

@@ -12,11 +12,10 @@ type t = {
   upcalls : (int * string, t -> Comp.value list -> Comp.value Comp.outcome) Hashtbl.t;
   mutable on_dispatch : (t -> Comp.cid -> string -> unit) option;
   mutable sim_fatal : fatal option;
-  mutable n_invocations : int;
-  mutable n_reboots : int;
   mutable seq : int;  (** scheduling stamp for round-robin within priority *)
-  mutable trace_log : trace_event list;
-  mutable trace_len : int;
+  sim_obs : Sg_obs.Sink.t;
+  sim_metrics : Sg_obs.Metrics.t;
+  mutable next_span : int;
 }
 
 and trace_event = {
@@ -61,7 +60,10 @@ type _ Effect.t +=
   | Block_eff : unit Effect.t
   | Yield_eff : unit Effect.t
 
-let create ?(cost = Cost.default) ?(seed = 42) () =
+let create ?(cost = Cost.default) ?(seed = 42) ?retention () =
+  let sim_obs = Sg_obs.Sink.create ?retention () in
+  let sim_metrics = Sg_obs.Metrics.create () in
+  Sg_obs.Metrics.attach sim_metrics sim_obs;
   {
     sk = Kernel.create ~cost ();
     sim_rng = Rng.create seed;
@@ -73,24 +75,37 @@ let create ?(cost = Cost.default) ?(seed = 42) () =
     upcalls = Hashtbl.create 16;
     on_dispatch = None;
     sim_fatal = None;
-    n_invocations = 0;
-    n_reboots = 0;
     seq = 0;
-    trace_log = [];
-    trace_len = 0;
+    sim_obs;
+    sim_metrics;
+    next_span = 0;
   }
 
-let trace_capacity = 512
+let trace_capacity = Sg_obs.Sink.ring_capacity
+let obs t = t.sim_obs
+let metrics t = t.sim_metrics
 
-let record t kind cid =
-  t.trace_log <- { tv_at_ns = Kernel.now t.sk; tv_kind = kind; tv_cid = cid } :: t.trace_log;
-  t.trace_len <- t.trace_len + 1;
-  if t.trace_len > 2 * trace_capacity then begin
-    t.trace_log <- List.filteri (fun i _ -> i < trace_capacity) t.trace_log;
-    t.trace_len <- trace_capacity
-  end
+let emit t kind =
+  let tid =
+    match t.current with Some f -> f.f_tcb.Ktcb.tid | None -> -1
+  in
+  Sg_obs.Sink.emit t.sim_obs ~at_ns:(Kernel.now t.sk) ~tid kind
 
-let trace t = List.filteri (fun i _ -> i < trace_capacity) t.trace_log
+(* the legacy bounded recovery-trace view, rebuilt from the sink's
+   always-on ring *)
+let trace t =
+  List.filter_map
+    (fun (e : Sg_obs.Event.t) ->
+      match e.Sg_obs.Event.kind with
+      | Sg_obs.Event.Crash { cid; detector } ->
+          Some
+            { tv_at_ns = e.Sg_obs.Event.at_ns; tv_kind = `Failed detector; tv_cid = cid }
+      | Sg_obs.Event.Reboot { cid; _ } ->
+          Some { tv_at_ns = e.Sg_obs.Event.at_ns; tv_kind = `Microreboot; tv_cid = cid }
+      | Sg_obs.Event.Upcall { cid; fn } ->
+          Some { tv_at_ns = e.Sg_obs.Event.at_ns; tv_kind = `Upcall fn; tv_cid = cid }
+      | _ -> None)
+    (Sg_obs.Sink.recovery_recent t.sim_obs)
 
 let pp_trace_event ppf e =
   let kind =
@@ -133,10 +148,10 @@ let mark_failed t cid ~detector =
   | `Failed _ -> ()
   | `Alive ->
       ce.ce_status <- `Failed detector;
-      record t (`Failed detector) cid
+      emit t (Sg_obs.Event.Crash { cid; detector })
 
-let reboots t = t.n_reboots
-let invocations t = t.n_invocations
+let reboots t = Sg_obs.Metrics.reboots t.sim_metrics
+let invocations t = Sg_obs.Metrics.invocations t.sim_metrics
 let set_on_dispatch t hook = t.on_dispatch <- hook
 let usage_of t cid fn = (centry_exn t cid).ce_spec.sc_usage fn
 let fatal t = t.sim_fatal
@@ -244,28 +259,40 @@ let invoke t ~server fn args =
   let client = self_cid t in
   if not (Captbl.allowed t.sk.Kernel.captbl ~client ~server) then Error Comp.EPERM
   else begin
-    t.n_invocations <- t.n_invocations + 1;
+    t.next_span <- t.next_span + 1;
+    let span = t.next_span in
+    emit t (Sg_obs.Event.Span_begin { span; client; server; fn });
     charge t (cost t).Cost.invocation_ns;
-    let ce = centry_exn t server in
-    (match ce.ce_status with
-    | `Failed d -> raise (Comp.Crash { cid = server; detector = "vectored:" ^ d })
-    | `Alive -> ());
-    Ktcb.enter_component tcb server;
-    Fun.protect
-      ~finally:(fun () -> Ktcb.leave_component tcb)
-      (fun () ->
-        (match t.on_dispatch with Some hook -> hook t server fn | None -> ());
-        (match ce.ce_spec.sc_usage fn with
-        | Some u -> charge t (Usage.duration_ns u)
-        | None -> charge t (cost t).Cost.dispatch_ns);
-        try ce.ce_spec.sc_dispatch t server fn args
-        with Comp.Crash { cid; detector } as e ->
-          if cid = server then mark_failed t server ~detector;
-          raise e)
+    let body () =
+      let ce = centry_exn t server in
+      (match ce.ce_status with
+      | `Failed d -> raise (Comp.Crash { cid = server; detector = "vectored:" ^ d })
+      | `Alive -> ());
+      Ktcb.enter_component tcb server;
+      Fun.protect
+        ~finally:(fun () -> Ktcb.leave_component tcb)
+        (fun () ->
+          (match t.on_dispatch with Some hook -> hook t server fn | None -> ());
+          (match ce.ce_spec.sc_usage fn with
+          | Some u -> charge t (Usage.duration_ns u)
+          | None -> charge t (cost t).Cost.dispatch_ns);
+          try ce.ce_spec.sc_dispatch t server fn args
+          with Comp.Crash { cid; detector } as e ->
+            if cid = server then mark_failed t server ~detector;
+            raise e)
+    in
+    match body () with
+    | r ->
+        emit t (Sg_obs.Event.Span_end { span; server; ok = true });
+        r
+    | exception e ->
+        emit t (Sg_obs.Event.Span_end { span; server; ok = false });
+        raise e
   end
 
 let reflect t ~server fn args =
   let tcb = current_tcb t in
+  emit t (Sg_obs.Event.Reflect { cid = server; fn });
   charge t (cost t).Cost.reflect_ns;
   let ce = centry_exn t server in
   (match ce.ce_status with
@@ -284,7 +311,7 @@ let upcall t ~client fn args =
   | None -> Error Comp.ENOENT
   | Some handler ->
       let tcb = current_tcb t in
-      record t (`Upcall fn) client;
+      emit t (Sg_obs.Event.Upcall { cid = client; fn });
       charge t (cost t).Cost.upcall_ns;
       Ktcb.enter_component tcb client;
       Fun.protect
@@ -293,9 +320,16 @@ let upcall t ~client fn args =
 
 let microreboot t cid =
   let ce = centry_exn t cid in
-  t.n_reboots <- t.n_reboots + 1;
-  record t `Microreboot cid;
-  charge t (ce.ce_spec.sc_image_kb * (cost t).Cost.reboot_ns_per_kb);
+  let cost_ns = ce.ce_spec.sc_image_kb * (cost t).Cost.reboot_ns_per_kb in
+  emit t
+    (Sg_obs.Event.Reboot
+       {
+         cid;
+         epoch = ce.ce_epoch + 1;
+         image_kb = ce.ce_spec.sc_image_kb;
+         cost_ns;
+       });
+  charge t cost_ns;
   ce.ce_status <- `Alive;
   ce.ce_epoch <- ce.ce_epoch + 1;
   ce.ce_spec.sc_init t cid;
@@ -309,7 +343,8 @@ let microreboot t cid =
       match (fiber.f_resume, tcb.Ktcb.state) with
       | Suspended _, (Ktcb.Blocked _ | Ktcb.Sleeping _ | Ktcb.Runnable)
         when Ktcb.in_stack tcb cid ->
-          tcb.Ktcb.divert <- Some cid
+          tcb.Ktcb.divert <- Some cid;
+          emit t (Sg_obs.Event.Divert { cid; victim = tcb.Ktcb.tid })
       | _ -> ())
     t.fibers;
   (* run the post-reboot constructor as the rebooted component, so that

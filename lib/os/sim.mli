@@ -46,7 +46,12 @@ type run_result = Completed | Fatal of fatal | Deadlock
 
 (** {1 Construction} *)
 
-val create : ?cost:Sg_kernel.Cost.t -> ?seed:int -> unit -> t
+(** [retention] sets the built-in observability sink's policy (default
+    [Recovery]); pass [All] to retain the full event stream for
+    {!Sg_obs.Check.run} or JSON-lines export. *)
+val create :
+  ?cost:Sg_kernel.Cost.t -> ?seed:int -> ?retention:Sg_obs.Sink.retention ->
+  unit -> t
 val kernel : t -> Sg_kernel.Kernel.t
 val cost : t -> Sg_kernel.Cost.t
 val rng : t -> Sg_util.Rng.t
@@ -163,3 +168,18 @@ val trace : t -> trace_event list
 
 val trace_capacity : int
 val pp_trace_event : Format.formatter -> trace_event -> unit
+
+(** {1 Structured observability}
+
+    Every simulator emits structured {!Sg_obs.Event.t} values — spans
+    for each invocation, crash/reboot/divert/upcall/reflect recovery
+    events — into a built-in sink, with an attached metrics fold. The
+    legacy {!trace} above is a bounded view of the same stream. *)
+
+val obs : t -> Sg_obs.Sink.t
+val metrics : t -> Sg_obs.Metrics.t
+
+val emit : t -> Sg_obs.Event.kind -> unit
+(** Emit an event stamped with the current virtual time and thread
+    (tid [-1] outside the dispatcher). Used by stubs, the injector and
+    workloads to contribute to the same stream. *)

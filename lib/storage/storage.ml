@@ -19,18 +19,24 @@ let create cbufs =
 
 let charge sim = Sim.charge sim (Sim.cost sim).Cost.storage_op_ns
 
-let register_desc t sim ~space ~id ~creator ~meta =
+(* each charged operation also contributes a structured event, so the
+   metrics layer can count storage traffic per run *)
+let op sim name ~space ~id =
   charge sim;
+  Sim.emit sim (Sg_obs.Event.Storage_op { op = name; space; id })
+
+let register_desc t sim ~space ~id ~creator ~meta =
+  op sim "register_desc" ~space ~id;
   Hashtbl.replace t.descs (space, id) { dr_creator = creator; dr_meta = meta }
 
 let lookup_desc t sim ~space ~id =
-  charge sim;
+  op sim "lookup_desc" ~space ~id;
   Option.map
     (fun r -> (r.dr_creator, r.dr_meta))
     (Hashtbl.find_opt t.descs (space, id))
 
 let remove_desc t sim ~space ~id =
-  charge sim;
+  op sim "remove_desc" ~space ~id;
   Hashtbl.remove t.descs (space, id)
 
 let descs_in t ~space =
@@ -40,7 +46,7 @@ let descs_in t ~space =
   |> List.sort compare
 
 let put_slice t sim ~space ~id ~off ~len ~cbuf =
-  charge sim;
+  op sim "put_slice" ~space ~id;
   let key = (space, id) in
   let cell =
     match Hashtbl.find_opt t.data key with
@@ -57,7 +63,7 @@ let put_slice t sim ~space ~id ~off ~len ~cbuf =
   cell := (t.seq, off, len, cbuf) :: List.filter (fun s -> not (covered s)) !cell
 
 let slices t sim ~space ~id =
-  charge sim;
+  op sim "slices" ~space ~id;
   match Hashtbl.find_opt t.data (space, id) with
   | None -> []
   | Some c ->
@@ -66,7 +72,7 @@ let slices t sim ~space ~id =
       List.sort compare !c |> List.map (fun (_, o, l, b) -> (o, l, b))
 
 let drop_slices t sim ~space ~id =
-  charge sim;
+  op sim "drop_slices" ~space ~id;
   Hashtbl.remove t.data (space, id)
 
 let slice_count t =

@@ -27,10 +27,16 @@ let empty iface =
   }
 
 (* One workload execution with the injector armed; the outcome of each
-   injected fault is accounted per the paper's definitions. *)
-let run_chunk ~mode ~iface ~seed ~period_ns ~iters ~budget ~cmon_period_ns =
+   injected fault is accounted per the paper's definitions. The counts
+   are read back from the simulator's metrics fold over the structured
+   event stream (the injector emits one [Inject] event per fault). *)
+let run_chunk ?on_event ~mode ~iface ~seed ~period_ns ~iters ~budget
+    ~cmon_period_ns () =
   let sys = Sysbuild.build ~seed mode in
   let sim = sys.Sysbuild.sys_sim in
+  (match on_event with
+  | Some f -> Sg_obs.Sink.subscribe (Sim.obs sim) f
+  | None -> ());
   let check = Workloads.setup sys ~iface ~iters in
   let inj =
     Injector.create ?cmon_period_ns
@@ -41,12 +47,13 @@ let run_chunk ~mode ~iface ~seed ~period_ns ~iters ~budget ~cmon_period_ns =
   in
   Injector.install sim inj;
   let result = Sim.run sim in
-  let injected = Injector.injected inj in
-  let failstops = Injector.count inj Injector.O_failstop in
-  let undetected = Injector.count inj Injector.O_undetected in
-  let segfault = Injector.count inj Injector.O_segfault in
-  let propagated = Injector.count inj Injector.O_propagated in
-  let hangs = Injector.count inj Injector.O_hang in
+  let m = Sim.metrics sim in
+  let injected = Sg_obs.Metrics.injections m in
+  let failstops = Sg_obs.Metrics.outcome_count m "failstop" in
+  let undetected = Sg_obs.Metrics.outcome_count m "undetected" in
+  let segfault = Sg_obs.Metrics.outcome_count m "segfault" in
+  let propagated = Sg_obs.Metrics.outcome_count m "propagated" in
+  let hangs = Sg_obs.Metrics.outcome_count m "hang" in
   (* with the C'MON monitor armed, latent hangs are converted into
      detected fail-stops and recovered like any other fault *)
   let failstops, hangs =
@@ -79,7 +86,7 @@ let run_chunk ~mode ~iface ~seed ~period_ns ~iters ~budget ~cmon_period_ns =
       r_propagated = propagated;
       r_other = other;
       r_undetected = undetected;
-      r_reboots = Sim.reboots sim;
+      r_reboots = Sg_obs.Metrics.reboots m;
     } )
 
 let add a b =
@@ -95,14 +102,14 @@ let add a b =
   }
 
 let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
-    ~mode ~iface ~injections () =
+    ?on_event ~mode ~iface ~injections () =
   let rec go acc chunk_seed =
     let remaining = injections - acc.r_injected in
     if remaining <= 0 then acc
     else
       let injected, row =
-        run_chunk ~mode ~iface ~seed:chunk_seed ~period_ns ~iters:chunk_iters
-          ~budget:remaining ~cmon_period_ns
+        run_chunk ?on_event ~mode ~iface ~seed:chunk_seed ~period_ns
+          ~iters:chunk_iters ~budget:remaining ~cmon_period_ns ()
       in
       let acc = add acc row in
       if injected = 0 then

@@ -27,6 +27,7 @@ val run :
   ?period_ns:int ->
   ?chunk_iters:int ->
   ?cmon_period_ns:int ->
+  ?on_event:(Sg_obs.Event.t -> unit) ->
   mode:Sg_components.Sysbuild.mode ->
   iface:string ->
   injections:int ->
@@ -36,7 +37,9 @@ val run :
     (the paper uses 500 per component). With [cmon_period_ns] the C'MON
     latent-fault monitor is armed: loop-bound hangs are detected within
     a budget overrun plus one monitor period and recovered like other
-    fail-stop faults, emptying the "other" column. *)
+    fail-stop faults, emptying the "other" column. [on_event] is
+    subscribed to every chunk simulator's observability sink, in run
+    order — the full structured event stream of the campaign. *)
 
 val activation_ratio : row -> float
 (** |F_a| / |F_a ∪ F_u| — the fraction of injected faults activated. *)

@@ -87,6 +87,15 @@ let hook t sim cid fn =
         t.log <-
           { ev_at_ns = Sim.now sim; ev_fn = fn; ev_reg = reg; ev_bit = bit; ev_outcome = outcome }
           :: t.log;
+        Sim.emit sim
+          (Sg_obs.Event.Inject
+             {
+               cid;
+               fn;
+               reg = Reg.to_string reg;
+               bit;
+               outcome = outcome_to_string outcome;
+             });
         (match verdict with
         | Usage.Undetected -> ()
         | Usage.Failstop detector ->

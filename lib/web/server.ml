@@ -49,9 +49,9 @@ let make_serve st ~app_work_ns ~lock_port ~evt_port ~fs_port ~mm_port =
        protocol variance), so repetitions over seeds have real spread *)
     let jitter = Sg_util.Rng.int (Sim.rng sim) (1 + (app_work_ns / 25)) in
     Sim.charge sim (app_work_ns - (app_work_ns / 50) + jitter);
-    let response =
+    let response, path =
       match Httpmsg.parse_request req_text with
-      | Error _ -> Httpmsg.not_found
+      | Error _ -> (Httpmsg.not_found, "<malformed>")
       | Ok req ->
           let id =
             match !lock_id with
@@ -82,8 +82,12 @@ let make_serve st ~app_work_ns ~lock_port ~evt_port ~fs_port ~mm_port =
             Mm.get_page mm_port sim ~vaddr;
             ignore (Mm.release_page mm_port sim ~vaddr)
           end;
-          if body = "" then Httpmsg.not_found else Httpmsg.ok ~body
+          ( (if body = "" then Httpmsg.not_found else Httpmsg.ok ~body),
+            req.Httpmsg.rq_path )
     in
+    Sim.emit sim
+      (Sg_obs.Event.Http
+         { cid = st.ws_http; path; status = response.Httpmsg.rs_status });
     Ok (Comp.VStr (Httpmsg.render_response response))
 
 let install ?(app_work_ns = default_app_work_ns) ?(docs = default_docs) sys =

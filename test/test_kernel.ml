@@ -206,6 +206,22 @@ let prop_classify_pure =
       in
       Usage.classify u ~reg ~bit ~at = Usage.classify u ~reg ~bit ~at)
 
+let test_cost_scale () =
+  let c = Cost.default in
+  Alcotest.(check bool) "scale by 1.0 is the identity" true (Cost.scale c 1.0 = c);
+  let doubled = Cost.scale c 2.0 in
+  Alcotest.(check int) "doubles invocation" (2 * c.Cost.invocation_ns)
+    doubled.Cost.invocation_ns;
+  Alcotest.(check int) "doubles wakeup" (2 * c.Cost.wakeup_ns)
+    doubled.Cost.wakeup_ns;
+  (* int_of_float truncates toward zero: 620 * 1.5 = 930, 105 * 1.5 = 157.5 *)
+  let half_up = Cost.scale c 1.5 in
+  Alcotest.(check int) "truncates fractional ns" 157
+    half_up.Cost.reboot_ns_per_kb;
+  Alcotest.(check int) "exact when divisible" 930 half_up.Cost.invocation_ns;
+  let zero = Cost.scale c 0.0 in
+  Alcotest.(check int) "scale to zero" 0 zero.Cost.dispatch_ns
+
 let test_kernel_aggregate () =
   let k = Kernel.create () in
   Alcotest.(check int) "time 0" 0 (Kernel.now k);
@@ -249,5 +265,6 @@ let () =
           Alcotest.test_case "window builder" `Quick test_usage_window_builder;
           QCheck_alcotest.to_alcotest prop_classify_pure;
         ] );
+      ("cost", [ Alcotest.test_case "scale" `Quick test_cost_scale ]);
       ("kernel", [ Alcotest.test_case "aggregate" `Quick test_kernel_aggregate ]);
     ]

@@ -1,0 +1,411 @@
+(* Unit tests for the sg_obs observability layer: sink retention, the
+   log2 histogram, the JSON-lines codec, the metrics fold, and every
+   rule of the trace-invariant checker — each with a stream that must
+   pass and a corrupted stream that must be rejected. *)
+
+module E = Sg_obs.Event
+module Sink = Sg_obs.Sink
+module Hist = Sg_obs.Hist
+module Jsonl = Sg_obs.Jsonl
+module Check = Sg_obs.Check
+module Metrics = Sg_obs.Metrics
+
+(* hand-build a stream: (at_ns, tid, kind) triples, seq auto-assigned *)
+let stream l =
+  List.mapi (fun i (at_ns, tid, kind) -> { E.seq = i; at_ns; tid; kind }) l
+
+let rules vs = List.sort_uniq compare (List.map (fun v -> v.Check.rule) vs)
+
+let check_rules ?mode ?(completed = true) name expected l =
+  Alcotest.(check (list string)) name expected (rules (Check.run ?mode ~completed (stream l)))
+
+(* ---------- sink ---------- *)
+
+let span_begin ~span =
+  E.Span_begin { span; client = 1; server = 7; fn = "tread" }
+
+let test_sink_retention () =
+  let fill sink =
+    Sink.emit sink ~at_ns:10 ~tid:1 (span_begin ~span:1);
+    Sink.emit sink ~at_ns:20 ~tid:1 (E.Crash { cid = 7; detector = "t" });
+    Sink.emit sink ~at_ns:30 ~tid:1
+      (E.Reboot { cid = 7; epoch = 1; image_kb = 64; cost_ns = 5 });
+    Sink.emit sink ~at_ns:40 ~tid:1 (E.Span_end { span = 1; server = 7; ok = false })
+  in
+  let all = Sink.create ~retention:Sink.All () in
+  fill all;
+  Alcotest.(check int) "All retains everything" 4 (Sink.count all);
+  Alcotest.(check (list int))
+    "seq assigned in order, oldest first" [ 0; 1; 2; 3 ]
+    (List.map (fun e -> e.E.seq) (Sink.events all));
+  let rec_ = Sink.create () in
+  Alcotest.(check bool) "default retention is Recovery" true
+    (Sink.retention rec_ = Sink.Recovery);
+  fill rec_;
+  Alcotest.(check (list string))
+    "Recovery keeps only recovery-relevant kinds" [ "crash"; "reboot" ]
+    (List.map (fun e -> E.kind_name e.E.kind) (Sink.events rec_));
+  let none = Sink.create ~retention:Sink.Nothing () in
+  let seen = ref 0 in
+  Sink.subscribe none (fun _ -> incr seen);
+  fill none;
+  Alcotest.(check int) "Nothing retains no events" 0 (Sink.count none);
+  Alcotest.(check int) "subscribers see every emission regardless" 4 !seen;
+  Sink.clear all;
+  Alcotest.(check int) "clear empties the log" 0 (Sink.count all)
+
+let test_sink_ring () =
+  let sink = Sink.create ~retention:Sink.Nothing () in
+  for i = 1 to Sink.ring_capacity + 88 do
+    Sink.emit sink ~at_ns:i ~tid:1 (E.Crash { cid = 7; detector = "ring" })
+  done;
+  let ring = Sink.recovery_recent sink in
+  Alcotest.(check int) "ring bounded at capacity" Sink.ring_capacity
+    (List.length ring);
+  Alcotest.(check int) "ring is newest first"
+    (Sink.ring_capacity + 88)
+    (List.hd ring).E.at_ns;
+  Alcotest.(check int) "oldest surviving entry" 89
+    (List.nth ring (Sink.ring_capacity - 1)).E.at_ns
+
+(* ---------- histogram ---------- *)
+
+let test_hist_buckets () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (Hist.bucket_of v))
+    [ (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (1023, 10) ];
+  List.iter
+    (fun (i, u) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_upper %d" i) u (Hist.bucket_upper i))
+    [ (0, 0); (1, 1); (2, 3); (3, 7); (10, 1023) ]
+
+let test_hist_empty_and_singleton () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty n" 0 (Hist.n h);
+  Alcotest.(check int) "empty percentile" 0 (Hist.percentile h 0.5);
+  Hist.add h 5;
+  Alcotest.(check int) "singleton n" 1 (Hist.n h);
+  Alcotest.(check int) "singleton sum" 5 (Hist.sum h);
+  Alcotest.(check (float 1e-9)) "singleton mean" 5.0 (Hist.mean h);
+  Alcotest.(check int) "singleton min" 5 (Hist.min_value h);
+  Alcotest.(check int) "singleton max" 5 (Hist.max_value h);
+  (* bucket_of 5 = 3, upper = 7, clamped to the observed max *)
+  Alcotest.(check int) "singleton p99 clamps to max" 5 (Hist.percentile h 0.99);
+  Hist.clear h;
+  Alcotest.(check int) "clear resets" 0 (Hist.n h)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 1; 2; 3; 100 ];
+  Alcotest.(check int) "n" 4 (Hist.n h);
+  Alcotest.(check int) "sum" 106 (Hist.sum h);
+  (* cum counts: bucket1=1, bucket2=3, bucket7=4; p50 needs >= 2 *)
+  Alcotest.(check int) "p50 reports its bucket's upper bound" 3
+    (Hist.percentile h 0.5);
+  Alcotest.(check int) "p100 clamps to max" 100 (Hist.percentile h 1.0)
+
+(* ---------- JSON-lines codec ---------- *)
+
+let all_kinds =
+  [
+    E.Span_begin { span = 3; client = 1; server = 7; fn = "tsplit" };
+    E.Span_end { span = 3; server = 7; ok = false };
+    E.Crash { cid = 7; detector = "cmon:\"hang\"\n" };
+    E.Reboot { cid = 7; epoch = 2; image_kb = 128; cost_ns = 13440 };
+    E.Divert { cid = 7; victim = 4 };
+    E.Upcall { cid = 7; fn = "w_recover\tlocal" };
+    E.Reflect { cid = 7; fn = "sched_blk" };
+    E.Walk_begin
+      { client = 1; server = 7; iface = "fs"; desc = 42; reason = E.Demand };
+    E.Walk_end { client = 1; server = 7; ok = true };
+    E.Recover_begin { client = 1; server = 7; iface = "fs" };
+    E.Recover_end { client = 1; server = 7 };
+    E.Storage_op { op = "put_slice"; space = "fs"; id = 366080704 };
+    E.Inject { cid = 7; fn = "fs\\read"; reg = "r11"; bit = 31; outcome = "hang" };
+    E.Http { cid = 9; path = "/index.html?q=\x01"; status = 404 };
+    E.Note { name = "marker"; data = "a\"b\\c\r\nd" };
+  ]
+
+let test_jsonl_roundtrip () =
+  List.iteri
+    (fun i kind ->
+      let e = { E.seq = i; at_ns = 17 * i; tid = i mod 3; kind } in
+      let line = Jsonl.to_string e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is one line" (E.kind_name kind))
+        false
+        (String.contains line '\n');
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round-trips" (E.kind_name kind))
+        true
+        (Jsonl.of_string line = e))
+    all_kinds
+
+let test_jsonl_dump_load () =
+  let events = stream (List.map (fun k -> (5, 2, k)) all_kinds) in
+  let path = Filename.temp_file "sgobs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Jsonl.dump oc events;
+      close_out oc;
+      let ic = open_in path in
+      let back = Jsonl.load ic in
+      close_in ic;
+      Alcotest.(check bool) "dump/load round-trips" true (back = events))
+
+let test_jsonl_rejects_garbage () =
+  List.iter
+    (fun line ->
+      let rejected =
+        match Jsonl.of_string line with
+        | exception Jsonl.Parse_error _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" line) true rejected)
+    [
+      "";
+      "not json";
+      "{\"seq\":0}";
+      "{\"seq\":0,\"at_ns\":0,\"tid\":0,\"kind\":\"no_such_kind\"}";
+      "{\"seq\":0,\"at_ns\":0,\"tid\":0,\"kind\":\"crash\",\"cid\":1";
+      "{\"seq\":0,\"at_ns\":0,\"tid\":0,\"kind\":\"crash\",\"detector\":\"x\"}";
+    ]
+
+(* ---------- checker: one pass + one rejection per rule ---------- *)
+
+let crash cid = E.Crash { cid; detector = "t" }
+let reboot cid = E.Reboot { cid; epoch = 1; image_kb = 64; cost_ns = 5 }
+let s_end ?(server = 7) span ok = E.Span_end { span; server; ok }
+
+let test_check_clean_stream () =
+  check_rules "fault-free invoke stream" []
+    [
+      (0, 1, span_begin ~span:1);
+      (5, 1, s_end 1 true);
+      (9, 1, crash 7);
+      (12, 1, reboot 7);
+      (20, 1, span_begin ~span:2);
+      (25, 1, s_end 2 true);
+    ]
+
+let test_check_reordered_reboot () =
+  (* the corrupted stream of the acceptance criterion: the reboot record
+     displaced past a successful invocation of the still-failed server *)
+  check_rules "reordered reboot is rejected" [ "no-success-while-failed" ]
+    [
+      (0, 1, crash 7);
+      (5, 1, span_begin ~span:1);
+      (9, 1, s_end 1 true);
+      (12, 1, reboot 7);
+    ]
+
+let test_check_alternation () =
+  check_rules "reboot without crash" [ "crash-reboot-alternation" ]
+    [ (0, 1, reboot 7) ];
+  check_rules "double crash without reboot" [ "crash-reboot-alternation" ]
+    [ (0, 1, crash 7); (5, 1, crash 7); (9, 1, reboot 7) ];
+  check_rules "crash/reboot pairs alternate cleanly" []
+    [ (0, 1, crash 7); (5, 1, reboot 7); (9, 1, crash 7); (12, 1, reboot 7) ]
+
+let test_check_monotone () =
+  let bad =
+    [
+      { E.seq = 0; at_ns = 50; tid = 1; kind = E.Note { name = "a"; data = "" } };
+      { E.seq = 2; at_ns = 40; tid = 1; kind = E.Note { name = "b"; data = "" } };
+      { E.seq = 1; at_ns = 60; tid = 1; kind = E.Note { name = "c"; data = "" } };
+    ]
+  in
+  Alcotest.(check (list string))
+    "time and seq regressions are both caught" [ "monotone-time" ]
+    (rules (Check.run ~completed:true bad))
+
+let test_check_span_nesting () =
+  check_rules "end without begin" [ "span-nesting" ] [ (0, 1, s_end 9 true) ];
+  check_rules "cross-thread end" [ "span-nesting" ]
+    [ (0, 1, span_begin ~span:1); (5, 2, s_end 1 true) ];
+  check_rules "non-LIFO ends" [ "span-nesting" ]
+    [
+      (0, 1, span_begin ~span:1);
+      (2, 1, span_begin ~span:2);
+      (4, 1, s_end 1 true);
+      (6, 1, s_end 2 true);
+    ];
+  check_rules "properly nested spans pass" []
+    [
+      (0, 1, span_begin ~span:1);
+      (2, 1, span_begin ~span:2);
+      (4, 1, s_end 2 true);
+      (6, 1, s_end 1 true);
+    ]
+
+let divert victim = E.Divert { cid = 7; victim }
+
+let test_check_divert_unwind () =
+  (* thread 2 is inside server 7 when it reboots; it must unwind the
+     diverted span (faulted) before invoking anything again *)
+  let prefix =
+    [
+      (0, 2, span_begin ~span:1);
+      (3, 1, crash 7);
+      (5, 1, reboot 7);
+      (5, 1, divert 2);
+    ]
+  in
+  check_rules "unwind then replay passes" []
+    (prefix @ [ (8, 2, s_end 1 false); (10, 2, span_begin ~span:2); (12, 2, s_end 2 true) ]);
+  check_rules "diverted span completing ok is rejected" [ "divert-unwind" ]
+    (prefix @ [ (8, 2, s_end 1 true) ]);
+  check_rules "replay before the unwind is rejected"
+    [ "divert-unwind"; "end-of-stream" ]
+    (prefix @ [ (8, 2, span_begin ~span:2); (10, 2, s_end 2 true) ])
+
+let walk ?(reason = E.Demand) () =
+  E.Walk_begin { client = 1; server = 7; iface = "fs"; desc = 3; reason }
+
+let walk_end ok = E.Walk_end { client = 1; server = 7; ok }
+let rec_begin = E.Recover_begin { client = 1; server = 7; iface = "fs" }
+let rec_end = E.Recover_end { client = 1; server = 7 }
+
+let test_check_walk_discipline () =
+  check_rules "demand walk outside an episode passes" []
+    [ (0, 1, walk ()); (5, 1, walk_end true) ];
+  check_rules "interrupted walk restarting passes" []
+    [ (0, 1, walk ()); (4, 1, walk_end false); (6, 1, walk ()); (9, 1, walk_end true) ];
+  check_rules "eager walk outside an episode is rejected" [ "walk-discipline" ]
+    [ (0, 1, walk ~reason:E.Eager ()); (5, 1, walk_end true) ];
+  check_rules "demand walk inside an episode is rejected" [ "walk-discipline" ]
+    [ (0, 1, rec_begin); (2, 1, walk ()); (5, 1, walk_end true); (7, 1, rec_end) ];
+  check_rules "eager episode passes unmoded" []
+    [ (0, 1, rec_begin); (2, 1, walk ~reason:E.Eager ()); (5, 1, walk_end true); (7, 1, rec_end) ];
+  check_rules ~mode:`Ondemand "T1 mode bans eager episodes" [ "walk-discipline" ]
+    [ (0, 1, rec_begin); (2, 1, rec_end) ];
+  check_rules "episode end without begin" [ "walk-discipline" ] [ (0, 1, rec_end) ];
+  check_rules "mismatched walk end" [ "walk-discipline" ]
+    [ (0, 1, walk ()); (5, 1, E.Walk_end { client = 1; server = 8; ok = true }) ]
+
+let inject outcome = E.Inject { cid = 7; fn = "fs_read"; reg = "r4"; bit = 3; outcome }
+
+let test_check_inject_accounting () =
+  check_rules "failstop followed by its crash passes" []
+    [
+      (0, 1, span_begin ~span:1);
+      (2, 1, inject "failstop");
+      (4, 1, crash 7);
+      (6, 1, s_end 1 false);
+      (8, 1, reboot 7);
+    ];
+  check_rules "segfault unwinding the span passes" []
+    [ (0, 1, span_begin ~span:1); (2, 1, inject "segfault"); (4, 1, s_end 1 false) ];
+  check_rules "undetected needs no detection record" []
+    [ (0, 1, span_begin ~span:1); (2, 1, inject "undetected"); (4, 1, s_end 1 true) ];
+  check_rules "failstop followed by a clean return is rejected"
+    [ "inject-accounting" ]
+    [ (0, 1, span_begin ~span:1); (2, 1, inject "failstop"); (4, 1, s_end 1 true) ];
+  check_rules "unknown outcome is rejected" [ "inject-accounting" ]
+    [ (0, 1, inject "meltdown") ];
+  check_rules "activation at end of stream is rejected" [ "end-of-stream" ]
+    [ (0, 1, inject "failstop") ]
+
+let test_check_end_of_stream () =
+  let open_span = [ (0, 1, span_begin ~span:1) ] in
+  check_rules "open span at EOF rejected when completed" [ "end-of-stream" ]
+    open_span;
+  check_rules ~completed:false "open span tolerated on a prefix" [] open_span;
+  check_rules "open walk at EOF rejected" [ "end-of-stream" ] [ (0, 1, walk ()) ];
+  check_rules "open episode at EOF rejected" [ "end-of-stream" ]
+    [ (0, 1, rec_begin) ]
+
+(* ---------- metrics fold ---------- *)
+
+let test_metrics_fold () =
+  let m = Metrics.create () in
+  List.iter (Metrics.feed m)
+    (stream
+       [
+         (0, 1, span_begin ~span:1);
+         (10, 1, s_end 1 true);
+         (12, 1, crash 7);
+         (20, 1, reboot 7);
+         (21, 1, divert 2);
+         (22, 1, E.Upcall { cid = 7; fn = "w_recover" });
+         (24, 1, walk ());
+         (30, 1, walk_end true);
+         (32, 1, E.Storage_op { op = "slices"; space = "fs"; id = 1 });
+         (40, 1, span_begin ~span:2);
+         (45, 1, s_end 2 false);
+         (50, 1, span_begin ~span:3);
+         (60, 1, s_end 3 true);
+         (61, 1, inject "hang");
+         (62, 1, E.Http { cid = 9; path = "/"; status = 200 });
+         (63, 1, E.Http { cid = 9; path = "/nope"; status = 404 });
+       ]);
+  Alcotest.(check int) "invocations" 3 (Metrics.invocations m);
+  Alcotest.(check int) "invocations into 7" 3 (Metrics.invocations ~cid:7 m);
+  Alcotest.(check int) "invocations into 8" 0 (Metrics.invocations ~cid:8 m);
+  Alcotest.(check int) "spans ok" 2 (Metrics.spans_ok m);
+  Alcotest.(check int) "spans faulted" 1 (Metrics.spans_fault m);
+  Alcotest.(check int) "crashes of 7" 1 (Metrics.crashes ~cid:7 m);
+  Alcotest.(check int) "reboots" 1 (Metrics.reboots m);
+  Alcotest.(check int) "reboot cost total" 5 (Metrics.reboot_ns_total m);
+  Alcotest.(check int) "diverts" 1 (Metrics.diverts m);
+  Alcotest.(check int) "upcalls" 1 (Metrics.upcalls m);
+  Alcotest.(check int) "walks by client" 1 (Metrics.walks ~client:1 m);
+  Alcotest.(check int) "walks by server" 1 (Metrics.walks ~server:7 m);
+  Alcotest.(check int) "storage ops" 1 (Metrics.storage_ops m);
+  Alcotest.(check int) "injections" 1 (Metrics.injections m);
+  Alcotest.(check int) "hang outcomes" 1 (Metrics.outcome_count m "hang");
+  Alcotest.(check int) "http requests" 2 (Metrics.http_requests m);
+  Alcotest.(check int) "http errors" 1 (Metrics.http_errors m);
+  Alcotest.(check int) "span latencies recorded" 2 (Hist.n (Metrics.span_hist m));
+  Alcotest.(check int) "walk latency 6 ns" 6 (Hist.sum (Metrics.walk_hist m));
+  (* the first ok span end after the reboot: 60 - 20 = 40 ns... except
+     span 1 ended before the reboot, so the first is span 3 at 60 ns *)
+  Alcotest.(check int) "first-access latency" 40
+    (Hist.sum (Metrics.first_access_hist m));
+  Alcotest.check_raises "walks rejects both filters"
+    (Invalid_argument "Metrics.walks: give client or server, not both")
+    (fun () -> ignore (Metrics.walks ~client:1 ~server:7 m))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "retention policies" `Quick test_sink_retention;
+          Alcotest.test_case "bounded recovery ring" `Quick test_sink_ring;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "bucket math" `Quick test_hist_buckets;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_hist_empty_and_singleton;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "every kind round-trips" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "dump/load" `Quick test_jsonl_dump_load;
+          Alcotest.test_case "rejects malformed lines" `Quick
+            test_jsonl_rejects_garbage;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "clean stream" `Quick test_check_clean_stream;
+          Alcotest.test_case "reordered reboot rejected" `Quick
+            test_check_reordered_reboot;
+          Alcotest.test_case "crash-reboot alternation" `Quick
+            test_check_alternation;
+          Alcotest.test_case "monotone time" `Quick test_check_monotone;
+          Alcotest.test_case "span nesting" `Quick test_check_span_nesting;
+          Alcotest.test_case "divert unwind" `Quick test_check_divert_unwind;
+          Alcotest.test_case "walk discipline" `Quick test_check_walk_discipline;
+          Alcotest.test_case "inject accounting" `Quick
+            test_check_inject_accounting;
+          Alcotest.test_case "end of stream" `Quick test_check_end_of_stream;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "counter fold" `Quick test_metrics_fold ] );
+    ]

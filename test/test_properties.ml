@@ -15,6 +15,20 @@ module Frames = Sg_kernel.Frames
 module Kernel = Sg_kernel.Kernel
 module Rng = Sg_util.Rng
 
+(* Every model run also records its full event stream and validates it
+   against the trace invariants: crash storms exercise exactly the
+   orderings Obs.Check guards (crash->reboot alternation, divert
+   unwinding, walk discipline), so a checker violation here is a
+   recovery bug even when the shadow model happens to agree. *)
+let arm_obs sys =
+  Sg_obs.Sink.set_retention (Sim.obs sys.Sysbuild.sys_sim) Sg_obs.Sink.All
+
+let check_obs ?mode sys =
+  let events = Sg_obs.Sink.events (Sim.obs sys.Sysbuild.sys_sim) in
+  List.map
+    (fun v -> Format.asprintf "%a" Sg_obs.Check.pp_violation v)
+    (Sg_obs.Check.run ?mode ~completed:true events)
+
 let install_crasher sys targets ~period ~offset =
   let count = ref 0 in
   Sim.set_on_dispatch sys.Sysbuild.sys_sim
@@ -32,6 +46,7 @@ let install_crasher sys targets ~period ~offset =
 
 let fs_model_run ~mode ~seed ~crash_period =
   let sys = Sysbuild.build ~seed mode in
+  arm_obs sys;
   let sim = sys.Sysbuild.sys_sim in
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"fs" in
@@ -119,7 +134,7 @@ let fs_model_run ~mode ~seed ~crash_period =
   | Some period -> install_crasher sys [ sys.Sysbuild.sys_fs ] ~period ~offset:0
   | None -> ());
   match Sim.run sim with
-  | Sim.Completed -> !violations
+  | Sim.Completed -> check_obs sys @ !violations
   | r -> [ Format.asprintf "run: %a" Sim.pp_run_result r ]
 
 let prop_fs_model mode_name mode =
@@ -137,6 +152,7 @@ let prop_fs_model mode_name mode =
 
 let mm_model_run ~mode ~seed ~crash_period =
   let sys = Sysbuild.build ~seed mode in
+  arm_obs sys;
   let sim = sys.Sysbuild.sys_sim in
   let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
   let port = sys.Sysbuild.sys_port ~client:app1 ~iface:"mm" in
@@ -190,9 +206,12 @@ let mm_model_run ~mode ~seed ~crash_period =
   | Sim.Completed ->
       let kernel = Sim.kernel sim in
       let residual = Frames.mapping_count kernel.Kernel.frames in
-      if residual <> 0 then
-        (Printf.sprintf "%d residual kernel mappings" residual) :: !violations
-      else !violations
+      let violations =
+        if residual <> 0 then
+          (Printf.sprintf "%d residual kernel mappings" residual) :: !violations
+        else !violations
+      in
+      check_obs sys @ violations
   | r -> [ Format.asprintf "run: %a" Sim.pp_run_result r ]
 
 let prop_mm_model mode_name mode =
@@ -214,6 +233,7 @@ let prop_mm_model mode_name mode =
 
 let lock_storm_run ~mode ~seed ~crash_period =
   let sys = Sysbuild.build ~seed mode in
+  arm_obs sys;
   let sim = sys.Sysbuild.sys_sim in
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"lock" in
@@ -265,10 +285,13 @@ let lock_storm_run ~mode ~seed ~crash_period =
   | None -> ());
   match Sim.run sim with
   | Sim.Completed ->
-      if !completed <> nthreads then
-        (Printf.sprintf "%d/%d threads completed" !completed nthreads)
-        :: !violations
-      else !violations
+      let violations =
+        if !completed <> nthreads then
+          (Printf.sprintf "%d/%d threads completed" !completed nthreads)
+          :: !violations
+        else !violations
+      in
+      check_obs sys @ violations
   | r -> [ Format.asprintf "run: %a" Sim.pp_run_result r ]
 
 let prop_lock_storm mode_name mode =
@@ -370,6 +393,53 @@ let test_regression_g0_replay_registration () =
   Alcotest.(check bool) "evt storm seed=158 period=8" true
     (Sim.run sys.Sysbuild.sys_sim = Sim.Completed && check () = [])
 
+(* ---------- observability: mode-aware checking + determinism ---------- *)
+
+(* crash-storm a paper workload and validate its stream under the
+   recovery-mode-specific rules: the T1 stubsets must never walk before
+   first access, the T0 stubset's eager walks must stay inside their
+   recover-all episodes *)
+let test_check_recovery_modes () =
+  List.iter
+    (fun (name, mode, chk_mode) ->
+      let sys = Sysbuild.build ~seed:11 mode in
+      arm_obs sys;
+      let check = Workloads.setup sys ~iface:"fs" ~iters:12 in
+      install_crasher sys [ sys.Sysbuild.sys_fs ] ~period:9 ~offset:0;
+      Alcotest.(check bool) (name ^ " storm completes") true
+        (Sim.run sys.Sysbuild.sys_sim = Sim.Completed && check () = []);
+      Alcotest.(check (list string))
+        (name ^ " stream satisfies its mode's invariants")
+        [] (check_obs ~mode:chk_mode sys))
+    [
+      ("superglue", Superglue.Stubset.mode, `Ondemand);
+      ("superglue-eager", Superglue.Stubset.mode_eager, `Eager);
+      ("c3", Sysbuild.Stubbed Sysbuild.c3_stubset, `Ondemand);
+    ]
+
+let campaign_events ~seed =
+  let buf = Buffer.create 4096 in
+  let row =
+    Sg_swifi.Campaign.run ~seed ~mode:Superglue.Stubset.mode ~iface:"fs"
+      ~injections:25
+      ~on_event:(fun e ->
+        Buffer.add_string buf (Sg_obs.Jsonl.to_string e);
+        Buffer.add_char buf '\n')
+      ()
+  in
+  (row, Buffer.contents buf)
+
+(* the simulator is seeded and virtual-timed, so a campaign is a pure
+   function of its seed: same seed, same row, byte-identical stream *)
+let test_campaign_determinism () =
+  let row1, ev1 = campaign_events ~seed:3 in
+  let row2, ev2 = campaign_events ~seed:3 in
+  Alcotest.(check bool) "stream is non-trivial" true (String.length ev1 > 0);
+  Alcotest.(check bool) "same seed gives the same campaign row" true
+    (row1 = row2);
+  Alcotest.(check bool) "and a byte-identical event stream" true
+    (String.equal ev1 ev2)
+
 (* fault-free sanity for the shadow models themselves *)
 let test_models_faultfree () =
   Alcotest.(check (list string)) "fs model" []
@@ -386,6 +456,13 @@ let () =
   Alcotest.run "properties"
     [
       ("sanity", [ Alcotest.test_case "models fault-free" `Quick test_models_faultfree ]);
+      ( "observability",
+        [
+          Alcotest.test_case "storms satisfy the mode invariants" `Quick
+            test_check_recovery_modes;
+          Alcotest.test_case "campaigns are seed-deterministic" `Quick
+            test_campaign_determinism;
+        ] );
       ( "regressions",
         [
           Alcotest.test_case "woken-but-unscheduled threads divert" `Quick

@@ -61,6 +61,20 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile a 0.0);
   Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile a 1.0)
 
+let test_stats_edge_cases () =
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Stats.summarize []));
+  Alcotest.check_raises "empty percentile rejected"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 0.5));
+  let s = Stats.summarize [ 42.0 ] in
+  Alcotest.(check int) "singleton n" 1 s.Stats.n;
+  Alcotest.(check (float 1e-9)) "singleton mean" 42.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "singleton stdev is zero" 0.0 s.Stats.stdev;
+  Alcotest.(check (float 1e-9)) "singleton min" 42.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "singleton max" 42.0 s.Stats.max
+
 let test_ratio_percent () =
   Alcotest.(check (float 1e-9)) "slowdown" 10.0
     (Stats.ratio_percent ~baseline:100.0 ~measured:90.0)
@@ -120,6 +134,7 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty and singleton" `Quick test_stats_edge_cases;
           Alcotest.test_case "ratio" `Quick test_ratio_percent;
           QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
         ] );

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification gate (referenced from ROADMAP.md): everything a PR
+# must keep green. Run from the repository root.
+#
+# `dune build @fmt` is NOT part of the gate: the toolchain image ships
+# no ocamlformat binary, and dune's own dune-file formatting reports
+# diffs for seed files this repo never reformatted. Revisit if
+# ocamlformat is added to the image.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== tier-1 gate OK"
