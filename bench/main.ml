@@ -258,6 +258,175 @@ let obs () =
       print_endline "\nmetrics fold of the last run:";
       Format.printf "%a@?" Sg_obs.Metrics.pp_summary m
 
+(* ---------- perf benchmarks with machine-readable BENCH_*.json ---------- *)
+
+let quick = ref false
+let out_path = ref None
+let jobs_list = ref [ 1; 2; 4 ]
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let bench_spec =
+  {
+    Sim.sc_name = "benchapp";
+    sc_image_kb = 16;
+    sc_init = (fun _ _ -> ());
+    sc_boot_init = (fun _ _ -> ());
+    sc_dispatch = (fun _ _ _ _ -> Ok Sg_os.Comp.VUnit);
+    sc_reflect = (fun _ _ _ _ -> Error Sg_os.Comp.EINVAL);
+    sc_usage = (fun _ -> None);
+  }
+
+(* the dispatcher-loop workload: 64 threads over 8 priority bands, each
+   alternating yields with short timed sleeps, so every iteration is a
+   full scheduling decision and the sleeper queue gets real traffic *)
+let sched_workload ~sched ~threads ~yields =
+  let sim = Sim.create ~sched () in
+  let app = Sim.register sim bench_spec in
+  let dispatches = ref 0 in
+  for i = 0 to threads - 1 do
+    ignore
+      (Sim.spawn sim ~prio:(i mod 8)
+         ~name:(Printf.sprintf "t%d" i)
+         ~home:app
+         (fun sim ->
+           for k = 1 to yields do
+             incr dispatches;
+             if k mod 16 = 0 then Sim.sleep_until sim (Sim.now sim + 1_000)
+             else Sim.yield sim
+           done))
+  done;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | r -> failwith (Format.asprintf "bench sched: run ended %a" Sim.pp_run_result r));
+  !dispatches
+
+let emit_ns_per_event ~subscriber ~events =
+  let sink = Sg_obs.Sink.create ~retention:Sg_obs.Sink.Recovery () in
+  if subscriber then Sg_obs.Sink.subscribe sink (fun _ -> ());
+  let kind = Sg_obs.Event.Span_end { span = 1; server = 1; ok = true } in
+  let (), s =
+    wall (fun () ->
+        for i = 1 to events do
+          Sg_obs.Sink.emit sink ~at_ns:i ~tid:1 kind
+        done)
+  in
+  s /. float_of_int events *. 1e9
+
+let write_json path lines =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (String.concat "\n" lines ^ "\n"));
+  Printf.printf "wrote %s\n%!" path
+
+let sched_perf () =
+  hr "bench sched: dispatcher-loop throughput, list-scan vs indexed run-queue";
+  let threads = 64 in
+  let yields = if !quick then 200 else 2_000 in
+  let measure sched =
+    (* one warm-up run, then the timed run *)
+    ignore (sched_workload ~sched ~threads ~yields);
+    let dispatches, s = wall (fun () -> sched_workload ~sched ~threads ~yields) in
+    (dispatches, s, float_of_int dispatches /. s)
+  in
+  let scan_n, scan_s, scan_rate = measure `Scan in
+  let idx_n, idx_s, idx_rate = measure `Indexed in
+  let speedup = idx_rate /. scan_rate in
+  let emit_drop = emit_ns_per_event ~subscriber:false ~events:2_000_000 in
+  let emit_sub = emit_ns_per_event ~subscriber:true ~events:2_000_000 in
+  Printf.printf "%-28s %12s %12s %14s\n" "backend" "dispatches" "wall s"
+    "dispatch/s";
+  Printf.printf "%-28s %12d %12.4f %14.0f\n" "scan (legacy)" scan_n scan_s
+    scan_rate;
+  Printf.printf "%-28s %12d %12.4f %14.0f\n" "indexed (runq)" idx_n idx_s
+    idx_rate;
+  Printf.printf "speedup (indexed vs scan): %.2fx\n" speedup;
+  Printf.printf
+    "sink emit: %.1f ns/event dropped unboxed, %.1f ns/event with subscriber\n"
+    emit_drop emit_sub;
+  let path = Option.value !out_path ~default:"BENCH_sched.json" in
+  write_json path
+    [
+      "{";
+      Printf.sprintf "  \"bench\": \"sched\",";
+      Printf.sprintf "  \"quick\": %b," !quick;
+      Printf.sprintf "  \"threads\": %d," threads;
+      Printf.sprintf "  \"yields_per_thread\": %d," yields;
+      Printf.sprintf
+        "  \"scan\": {\"dispatches\": %d, \"wall_s\": %.6f, \"dispatch_per_s\": %.0f},"
+        scan_n scan_s scan_rate;
+      Printf.sprintf
+        "  \"indexed\": {\"dispatches\": %d, \"wall_s\": %.6f, \"dispatch_per_s\": %.0f},"
+        idx_n idx_s idx_rate;
+      Printf.sprintf "  \"speedup_indexed_vs_scan\": %.3f," speedup;
+      Printf.sprintf
+        "  \"emit_ns_per_event\": {\"dropped_unboxed\": %.1f, \"with_subscriber\": %.1f}"
+        emit_drop emit_sub;
+      "}";
+    ]
+
+let campaign_perf () =
+  hr "bench campaign: parallel SWIFI driver wall-clock vs -j 1";
+  let iface = "lock" and injections = if !quick then 40 else 300 in
+  let mode = Superglue.Stubset.mode in
+  let measure jobs =
+    let chunks = ref 0 in
+    let row = ref None in
+    let (), s =
+      wall (fun () ->
+          row :=
+            Some
+              (Sg_swifi.Pardriver.run ~jobs ~mode ~iface ~injections
+                 ~collect_events:false
+                 ~on_chunk:(fun ~seed:_ _ -> incr chunks)
+                 ()))
+    in
+    (Option.get !row, !chunks, s)
+  in
+  let results = List.map (fun j -> (j, measure j)) !jobs_list in
+  let _, (_, _, base_s) = List.hd results in
+  Printf.printf "%-6s %8s %10s %12s %10s\n" "jobs" "chunks" "wall s" "chunks/s"
+    "speedup";
+  List.iter
+    (fun (j, (row, chunks, s)) ->
+      ignore (row : Sg_swifi.Campaign.row);
+      Printf.printf "%-6d %8d %10.4f %12.1f %10.2fx\n" j chunks s
+        (float_of_int chunks /. s)
+        (base_s /. s))
+    results;
+  (* determinism spot-check: all rows must agree with -j 1 *)
+  let rows = List.map (fun (_, (row, _, _)) -> row) results in
+  List.iter
+    (fun r -> assert (r = List.hd rows))
+    rows;
+  let path = Option.value !out_path ~default:"BENCH_campaign.json" in
+  write_json path
+    ([
+       "{";
+       Printf.sprintf "  \"bench\": \"campaign\",";
+       Printf.sprintf "  \"quick\": %b," !quick;
+       Printf.sprintf "  \"iface\": \"%s\"," iface;
+       Printf.sprintf "  \"injections\": %d," injections;
+       Printf.sprintf "  \"host_cores\": %d,"
+         (Domain.recommended_domain_count ());
+       "  \"jobs\": [";
+     ]
+    @ (List.mapi
+         (fun i (j, (_, chunks, s)) ->
+           Printf.sprintf
+             "    {\"j\": %d, \"chunks\": %d, \"wall_s\": %.6f, \
+              \"chunks_per_s\": %.1f, \"speedup_vs_j1\": %.3f}%s"
+             j chunks s
+             (float_of_int chunks /. s)
+             (base_s /. s)
+             (if i = List.length results - 1 then "" else ","))
+         results)
+    @ [ "  ]"; "}" ])
+
 let all =
   [
     ("fig6a", fig6a);
@@ -268,13 +437,28 @@ let all =
     ("ablation", ablation);
     ("obs", obs);
     ("micro", micro);
+    ("sched", sched_perf);
+    ("campaign", campaign_perf);
   ]
 
 let () =
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--out" :: path :: rest ->
+        out_path := Some path;
+        parse acc rest
+    | "-j" :: spec :: rest ->
+        jobs_list := List.map int_of_string (String.split_on_char ',' spec);
+        parse acc rest
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -47,26 +47,97 @@ let cmon_arg =
            detected within an execution-budget overrun and recovered \
            instead of hanging the system.")
 
-let run mode iface injections seed cmon =
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan campaign chunks across $(docv) domains. Results are \
+           deterministic: totals are identical for every $(docv), and \
+           $(docv)=1 output is byte-identical to the sequential driver.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign's full structured event stream (all chunks, \
+           re-stamped into one monotone JSON-lines stream with a \
+           sys-reboot note at each chunk boundary) to $(docv). Requires \
+           --iface.")
+
+(* Concatenate per-chunk event streams into one checkable stream: one
+   global sequence numbering, virtual timestamps offset to stay monotone
+   across chunk boundaries, and a "sys-reboot" note separating chunks
+   (Sg_obs.Check resets its run-scoped state there). *)
+let make_trace_writer path =
+  let buf = ref [] in
+  let seq = ref 0 in
+  let last_at = ref 0 in
+  let first = ref true in
+  let push ~at_ns ~tid kind =
+    buf := { Sg_obs.Event.seq = !seq; at_ns; tid; kind } :: !buf;
+    incr seq;
+    last_at := max !last_at at_ns
+  in
+  let on_chunk ~seed:_ events =
+    if not !first then
+      push ~at_ns:!last_at ~tid:(-1)
+        (Sg_obs.Event.Note
+           { name = "sys-reboot"; data = "campaign chunk boundary" });
+    first := false;
+    let base = !last_at in
+    List.iter
+      (fun (e : Sg_obs.Event.t) ->
+        push
+          ~at_ns:(base + e.Sg_obs.Event.at_ns)
+          ~tid:e.Sg_obs.Event.tid e.Sg_obs.Event.kind)
+      events
+  in
+  let finish () =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Sg_obs.Jsonl.dump oc (List.rev !buf));
+    Printf.eprintf "superglue-campaign: wrote %d events to %s\n" !seq path
+  in
+  (on_chunk, finish)
+
+let run mode iface injections seed cmon jobs trace =
   let cmon_period_ns = if cmon then Some 5_000 else None in
-  match iface with
-  | Some iface ->
-      let row = Campaign.run ~seed ?cmon_period_ns ~mode ~iface ~injections () in
-      Format.printf "%a@." Campaign.pp_row row
-  | None ->
-      if cmon then
-        List.iter
-          (fun iface ->
-            let row =
-              Campaign.run ~seed ?cmon_period_ns ~mode ~iface ~injections ()
-            in
-            Format.printf "%a@." Campaign.pp_row row)
-          Sg_components.Workloads.all_ifaces
-      else Sg_harness.Table2.print ~mode ~injections ()
+  match (trace, iface) with
+  | Some _, None ->
+      prerr_endline "superglue-campaign: --trace requires --iface";
+      exit 2
+  | _ -> (
+      let writer = Option.map make_trace_writer trace in
+      let on_chunk = Option.map fst writer in
+      match iface with
+      | Some iface ->
+          let row =
+            Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ?on_chunk ~jobs ~mode
+              ~iface ~injections ()
+          in
+          Format.printf "%a@." Campaign.pp_row row;
+          Option.iter (fun (_, finish) -> finish ()) writer
+      | None ->
+          if cmon then
+            List.iter
+              (fun iface ->
+                let row =
+                  Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ~jobs ~mode
+                    ~iface ~injections ()
+                in
+                Format.printf "%a@." Campaign.pp_row row)
+              Sg_components.Workloads.all_ifaces
+          else Sg_harness.Table2.print ~mode ~injections ~jobs ())
 
 let () =
   let term =
-    Term.(const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg)
+    Term.(
+      const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg
+      $ jobs_arg $ trace_arg)
   in
   let info =
     Cmd.info "superglue-campaign"

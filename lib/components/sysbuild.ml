@@ -76,8 +76,8 @@ let app_spec name =
     sc_usage = (fun _ -> None);
   }
 
-let build ?(seed = 42) ?cost mode =
-  let sim = Sim.create ?cost ~seed () in
+let build ?(seed = 42) ?cost ?sched mode =
+  let sim = Sim.create ?cost ~seed ?sched () in
   let cbufs = Cbuf.create () in
   let storage = Storage.create cbufs in
   let stubset =

@@ -52,7 +52,14 @@ type system = {
       (** the underlying stub, when the system is stubbed *)
 }
 
-val build : ?seed:int -> ?cost:Sg_kernel.Cost.t -> mode -> system
+val build :
+  ?seed:int ->
+  ?cost:Sg_kernel.Cost.t ->
+  ?sched:[ `Scan | `Indexed ] ->
+  mode ->
+  system
+(** [sched] selects the dispatcher backend (see {!Sg_os.Sim.create});
+    both backends produce identical executions. *)
 
 val services : system -> (string * Sg_os.Comp.cid) list
 (** The six injectable system services, by interface name. *)

@@ -2,13 +2,15 @@ module Campaign = Sg_swifi.Campaign
 module Workloads = Sg_components.Workloads
 module Table = Sg_util.Table
 
-let run ?(mode = Superglue.Stubset.mode) ?(injections = 500) ?(seed = 1) () =
+let run ?(mode = Superglue.Stubset.mode) ?(injections = 500) ?(seed = 1)
+    ?(jobs = 1) () =
   List.map
-    (fun iface -> Campaign.run ~seed ~mode ~iface ~injections ())
+    (fun iface ->
+      Sg_swifi.Pardriver.run ~seed ~jobs ~mode ~iface ~injections ())
     Workloads.all_ifaces
 
-let print ?mode ?injections () =
-  let rows = run ?mode ?injections () in
+let print ?mode ?injections ?jobs () =
+  let rows = run ?mode ?injections ?jobs () in
   print_endline
     "Table II - SWIFI fault-injection campaign with SuperGlue\n\
      (measured | paper's value in parentheses)";

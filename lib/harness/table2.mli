@@ -5,8 +5,17 @@ val run :
   ?mode:Sg_components.Sysbuild.mode ->
   ?injections:int ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   Sg_swifi.Campaign.row list
-(** Default: the SuperGlue configuration, 500 injections per service. *)
+(** Default: the SuperGlue configuration, 500 injections per service.
+    [jobs] fans each service's campaign across that many domains via
+    {!Sg_swifi.Pardriver} — the rows (and thus the printed table) are
+    identical for every [jobs] value. *)
 
-val print : ?mode:Sg_components.Sysbuild.mode -> ?injections:int -> unit -> unit
+val print :
+  ?mode:Sg_components.Sysbuild.mode ->
+  ?injections:int ->
+  ?jobs:int ->
+  unit ->
+  unit

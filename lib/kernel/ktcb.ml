@@ -16,9 +16,17 @@ type tcb = {
   mutable divert : int option;
 }
 
-type t = { mutable next_tid : int; table : (tid, tcb) Hashtbl.t }
+type t = {
+  mutable next_tid : int;
+  table : (tid, tcb) Hashtbl.t;
+  mutable order : tcb array;
+      (* threads in spawn (= ascending tid) order, in [0, n); threads are
+         never removed, so this is maintained by appending — no per-query
+         fold-and-sort *)
+  mutable n : int;
+}
 
-let create () = { next_tid = 1; table = Hashtbl.create 32 }
+let create () = { next_tid = 1; table = Hashtbl.create 32; order = [||]; n = 0 }
 
 let spawn t ~name ~prio ~home =
   let tid = t.next_tid in
@@ -35,6 +43,14 @@ let spawn t ~name ~prio ~home =
     }
   in
   Hashtbl.replace t.table tid tcb;
+  if t.n = Array.length t.order then begin
+    let cap = max 16 (2 * t.n) in
+    let order = Array.make cap tcb in
+    Array.blit t.order 0 order 0 t.n;
+    t.order <- order
+  end;
+  t.order.(t.n) <- tcb;
+  t.n <- t.n + 1;
   tcb
 
 let find t tid = Hashtbl.find_opt t.table tid
@@ -47,9 +63,21 @@ let find_exn t tid =
 let exit_thread t tid =
   match find t tid with Some tcb -> tcb.state <- Exited | None -> ()
 
-let all t =
-  Hashtbl.fold (fun _ tcb acc -> tcb :: acc) t.table []
-  |> List.sort (fun a b -> compare a.tid b.tid)
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.order.(i)
+  done
+
+(* collect matching threads in tid order without an intermediate list *)
+let filter_threads t p =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    let tcb = t.order.(i) in
+    if p tcb then acc := tcb :: !acc
+  done;
+  !acc
+
+let all t = filter_threads t (fun _ -> true)
 
 let enter_component tcb cid = tcb.stack <- cid :: tcb.stack
 
@@ -62,32 +90,27 @@ let current_component tcb =
   match tcb.stack with [] -> None | cid :: _ -> Some cid
 
 let executing_in t cid =
-  List.filter
-    (fun tcb -> tcb.state <> Exited && current_component tcb = Some cid)
-    (all t)
+  filter_threads t (fun tcb ->
+      tcb.state <> Exited && current_component tcb = Some cid)
 
 let in_stack tcb cid = List.mem cid tcb.stack
 
 let threads_inside t cid =
-  List.filter (fun tcb -> tcb.state <> Exited && in_stack tcb cid) (all t)
+  filter_threads t (fun tcb -> tcb.state <> Exited && in_stack tcb cid)
 
 let blocked_in t cid =
-  List.filter
-    (fun tcb ->
+  filter_threads t (fun tcb ->
       match tcb.state with
       | Blocked { in_component } | Sleeping { in_component; _ } ->
           in_component = cid
       | Runnable | Exited -> false)
-    (all t)
 
 let runnable t =
-  all t
-  |> List.filter (fun tcb -> tcb.state = Runnable)
+  filter_threads t (fun tcb -> tcb.state = Runnable)
   |> List.stable_sort (fun a b -> compare a.prio b.prio)
 
 let sleepers t =
-  List.filter
-    (fun tcb -> match tcb.state with Sleeping _ -> true | _ -> false)
-    (all t)
+  filter_threads t (fun tcb ->
+      match tcb.state with Sleeping _ -> true | _ -> false)
 
-let count t = Hashtbl.length t.table
+let count t = t.n

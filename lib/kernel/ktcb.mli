@@ -43,7 +43,14 @@ val spawn : t -> name:string -> prio:int -> home:int -> tcb
 val find : t -> tid -> tcb option
 val find_exn : t -> tid -> tcb
 val exit_thread : t -> tid -> unit
+
 val all : t -> tcb list
+(** All threads ever spawned (including exited ones), in ascending tid
+    order. Backed by an append-only array maintained at spawn time — no
+    per-call fold-and-sort. *)
+
+val iter : t -> (tcb -> unit) -> unit
+(** Allocation-free traversal in ascending tid order. *)
 
 val enter_component : tcb -> int -> unit
 val leave_component : tcb -> unit

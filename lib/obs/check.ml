@@ -227,6 +227,18 @@ let step st (e : Event.t) =
       | "undetected" -> ()
       | o ->
           report st ~seq "inject-accounting" "unknown injection outcome %S" o)
+  | Event.Note { name = "sys-reboot"; _ } ->
+      (* chunk boundary in a concatenated multi-run stream (e.g. a
+         parallel campaign trace): the simulated system restarts from
+         scratch, so every run-scoped obligation resets; only seq /
+         virtual-time monotonicity spans the boundary *)
+      Hashtbl.reset st.failed;
+      Hashtbl.reset st.spans;
+      Hashtbl.reset st.span_stacks;
+      Hashtbl.reset st.pending_divert;
+      Hashtbl.reset st.walk_stacks;
+      Hashtbl.reset st.recover_depth;
+      Hashtbl.reset st.expects
   | Event.Upcall _ | Event.Reflect _ | Event.Storage_op _ | Event.Http _
   | Event.Note _ ->
       ()

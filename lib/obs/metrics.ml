@@ -68,24 +68,24 @@ let bump tbl key by =
   Hashtbl.replace tbl key
     ((match Hashtbl.find_opt tbl key with Some n -> n | None -> 0) + by)
 
-let feed t (e : Event.t) =
-  match e.Event.kind with
+let feed_raw t ~at_ns ~tid kind =
+  match kind with
   | Event.Span_begin { span; server; _ } ->
       t.invocations_total <- t.invocations_total + 1;
       bump t.invocations_by_server server 1;
-      Hashtbl.replace t.open_spans span e.Event.at_ns
+      Hashtbl.replace t.open_spans span at_ns
   | Event.Span_end { span; server; ok } ->
       (match Hashtbl.find_opt t.open_spans span with
       | Some t0 ->
           Hashtbl.remove t.open_spans span;
-          if ok then Hist.add t.span_hist (e.Event.at_ns - t0)
+          if ok then Hist.add t.span_hist (at_ns - t0)
       | None -> ());
       if ok then begin
         t.spans_ok <- t.spans_ok + 1;
         match Hashtbl.find_opt t.first_access_pending server with
         | Some reboot_ns ->
             Hashtbl.remove t.first_access_pending server;
-            Hist.add t.first_access_hist (e.Event.at_ns - reboot_ns)
+            Hist.add t.first_access_hist (at_ns - reboot_ns)
         | None -> ()
       end
       else t.spans_fault <- t.spans_fault + 1
@@ -97,7 +97,7 @@ let feed t (e : Event.t) =
       bump t.reboots_by_cid cid 1;
       t.reboot_ns_total <- t.reboot_ns_total + cost_ns;
       Hist.add t.reboot_cost_hist cost_ns;
-      Hashtbl.replace t.first_access_pending cid e.Event.at_ns
+      Hashtbl.replace t.first_access_pending cid at_ns
   | Event.Divert _ -> t.diverts_total <- t.diverts_total + 1
   | Event.Upcall _ -> t.upcalls_total <- t.upcalls_total + 1
   | Event.Reflect _ -> t.reflects_total <- t.reflects_total + 1
@@ -106,19 +106,19 @@ let feed t (e : Event.t) =
       bump t.walks_by_client client 1;
       bump t.walks_by_server server 1;
       let stack =
-        match Hashtbl.find_opt t.open_walks e.Event.tid with
+        match Hashtbl.find_opt t.open_walks tid with
         | Some s -> s
         | None ->
             let s = ref [] in
-            Hashtbl.replace t.open_walks e.Event.tid s;
+            Hashtbl.replace t.open_walks tid s;
             s
       in
-      stack := e.Event.at_ns :: !stack
+      stack := at_ns :: !stack
   | Event.Walk_end { ok; _ } -> (
-      match Hashtbl.find_opt t.open_walks e.Event.tid with
+      match Hashtbl.find_opt t.open_walks tid with
       | Some ({ contents = t0 :: rest } as stack) ->
           stack := rest;
-          if ok then Hist.add t.walk_hist (e.Event.at_ns - t0)
+          if ok then Hist.add t.walk_hist (at_ns - t0)
       | Some _ | None -> ())
   | Event.Recover_begin _ | Event.Recover_end _ -> ()
   | Event.Storage_op _ -> t.storage_ops_total <- t.storage_ops_total + 1
@@ -130,7 +130,10 @@ let feed t (e : Event.t) =
       if status >= 400 then t.http_errors <- t.http_errors + 1
   | Event.Note _ -> ()
 
-let attach t sink = Sink.subscribe sink (feed t)
+let feed t (e : Event.t) =
+  feed_raw t ~at_ns:e.Event.at_ns ~tid:e.Event.tid e.Event.kind
+
+let attach t sink = Sink.subscribe_fold sink (feed_raw t)
 
 let get tbl key = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0
 

@@ -13,6 +13,9 @@ type t = {
   mutable ring : Event.t list;  (* newest first, bounded *)
   mutable ring_len : int;
   mutable subscribers : (Event.t -> unit) list;
+  mutable folds : (at_ns:int -> tid:int -> Event.kind -> unit) list;
+      (* unboxed fan-out: sees every emission without forcing the event
+         record to be constructed (the metrics fold attaches here) *)
 }
 
 let ring_capacity = 512
@@ -26,11 +29,13 @@ let create ?(retention = Recovery) () =
     ring = [];
     ring_len = 0;
     subscribers = [];
+    folds = [];
   }
 
 let retention t = t.retention
 let set_retention t r = t.retention <- r
 let subscribe t f = t.subscribers <- f :: t.subscribers
+let subscribe_fold t f = t.folds <- f :: t.folds
 
 let retains t kind =
   match t.retention with
@@ -39,22 +44,32 @@ let retains t kind =
   | Nothing -> false
 
 let emit t ~at_ns ~tid kind =
-  let e = { Event.seq = t.next_seq; at_ns; tid; kind } in
-  t.next_seq <- t.next_seq + 1;
-  if Event.is_recovery_core kind then begin
-    t.ring <- e :: t.ring;
-    t.ring_len <- t.ring_len + 1;
-    (* amortized prune, mirroring the original Sim trace ring *)
-    if t.ring_len > 2 * ring_capacity then begin
-      t.ring <- List.filteri (fun i _ -> i < ring_capacity) t.ring;
-      t.ring_len <- ring_capacity
-    end
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* fast path: the sequence number always advances, but the event record
+     is only boxed when someone will actually see it — under the default
+     [Recovery] retention the dispatcher hot path emits mostly spans,
+     which this drops without allocating *)
+  let core = Event.is_recovery_core kind in
+  let keep = retains t kind in
+  if core || keep || t.subscribers <> [] then begin
+    let e = { Event.seq; at_ns; tid; kind } in
+    if core then begin
+      t.ring <- e :: t.ring;
+      t.ring_len <- t.ring_len + 1;
+      (* amortized prune, mirroring the original Sim trace ring *)
+      if t.ring_len > 2 * ring_capacity then begin
+        t.ring <- List.filteri (fun i _ -> i < ring_capacity) t.ring;
+        t.ring_len <- ring_capacity
+      end
+    end;
+    if keep then begin
+      t.log <- e :: t.log;
+      t.log_len <- t.log_len + 1
+    end;
+    List.iter (fun f -> f e) t.subscribers
   end;
-  if retains t kind then begin
-    t.log <- e :: t.log;
-    t.log_len <- t.log_len + 1
-  end;
-  List.iter (fun f -> f e) t.subscribers
+  List.iter (fun f -> f ~at_ns ~tid kind) t.folds
 
 let count t = t.log_len
 let events t = List.rev t.log

@@ -16,6 +16,15 @@ type t = {
   sim_obs : Sg_obs.Sink.t;
   sim_metrics : Sg_obs.Metrics.t;
   mutable next_span : int;
+  sched : [ `Scan | `Indexed ];
+  ready : fiber Runq.Ready.t;
+      (** Indexed backend: exactly the runnable, non-finished fibers
+          except the one currently executing, keyed (prio, last_run, tid) *)
+  sleepq : sleeper Runq.Sleep.t;
+      (** Indexed backend: sleeping fibers keyed (until_ns, tid); stale
+          entries are invalidated by the per-fiber generation counter *)
+  mutable live : int;  (** fibers spawned and not yet finished *)
+  debug_divert : bool;  (** SG_DEBUG_DIVERT, read once at creation *)
 }
 
 and trace_event = {
@@ -41,7 +50,17 @@ and centry = {
   mutable ce_epoch : int;
 }
 
-and fiber = { f_tcb : Ktcb.tcb; mutable f_resume : resume; mutable f_last_run : int }
+and fiber = {
+  f_tcb : Ktcb.tcb;
+  mutable f_resume : resume;
+  mutable f_last_run : int;
+  mutable f_sleep_gen : int;
+      (** bumped on every transition into or out of [Sleeping]; a
+          sleeper-queue entry is live iff its recorded generation still
+          matches *)
+}
+
+and sleeper = { sl_fiber : fiber; sl_gen : int }
 
 and resume =
   | Start of (t -> unit)
@@ -60,7 +79,7 @@ type _ Effect.t +=
   | Block_eff : unit Effect.t
   | Yield_eff : unit Effect.t
 
-let create ?(cost = Cost.default) ?(seed = 42) ?retention () =
+let create ?(cost = Cost.default) ?(seed = 42) ?retention ?(sched = `Indexed) () =
   let sim_obs = Sg_obs.Sink.create ?retention () in
   let sim_metrics = Sg_obs.Metrics.create () in
   Sg_obs.Metrics.attach sim_metrics sim_obs;
@@ -79,6 +98,11 @@ let create ?(cost = Cost.default) ?(seed = 42) ?retention () =
     sim_obs;
     sim_metrics;
     next_span = 0;
+    sched;
+    ready = Runq.Ready.create ();
+    sleepq = Runq.Sleep.create ();
+    live = 0;
+    debug_divert = Sys.getenv_opt "SG_DEBUG_DIVERT" <> None;
   }
 
 let trace_capacity = Sg_obs.Sink.ring_capacity
@@ -190,10 +214,34 @@ let client_cid t =
   | [ home ] -> home
   | [] -> invalid_arg "Sim.client_cid: empty invocation stack"
 
+(* {2 Ready / sleeper queue maintenance (Indexed backend)}
+
+   Every thread-state transition funnels through the functions below, so
+   the queues are maintained incrementally and exactly: the ready heap
+   holds precisely the runnable, unfinished fibers other than the one
+   executing; the sleeper heap holds one live entry per sleeping fiber
+   (plus lazily-discarded stale ones). The pop order (prio, last_run,
+   tid) is the same total order the legacy scan minimised, so dispatch
+   sequences are bit-for-bit identical across backends — enforced by the
+   golden-trace determinism test. *)
+
+let ready_push t fiber =
+  Runq.Ready.push t.ready
+    (fiber.f_tcb.Ktcb.prio, fiber.f_last_run, fiber.f_tcb.Ktcb.tid)
+    fiber
+
+let sleeper_live entry =
+  entry.sl_gen = entry.sl_fiber.f_sleep_gen
+  && (match entry.sl_fiber.f_tcb.Ktcb.state with
+     | Ktcb.Sleeping _ -> true
+     | Ktcb.Runnable | Ktcb.Blocked _ | Ktcb.Exited -> false)
+
 let spawn t ?(prio = 10) ~name ~home f =
   let tcb = Ktcb.spawn t.sk.Kernel.threads ~name ~prio ~home in
-  let fiber = { f_tcb = tcb; f_resume = Start f; f_last_run = 0 } in
+  let fiber = { f_tcb = tcb; f_resume = Start f; f_last_run = 0; f_sleep_gen = 0 } in
   Hashtbl.replace t.fibers tcb.Ktcb.tid fiber;
+  t.live <- t.live + 1;
+  if t.sched = `Indexed then ready_push t fiber;
   tcb.Ktcb.tid
 
 let block t =
@@ -204,10 +252,16 @@ let block t =
   Effect.perform Block_eff
 
 let sleep_until t until_ns =
-  let tcb = current_tcb t in
+  let fiber = current_fiber t in
+  let tcb = fiber.f_tcb in
   let in_component = self_cid t in
   charge t (cost t).Cost.block_ns;
   tcb.Ktcb.state <- Ktcb.Sleeping { until_ns; in_component };
+  if t.sched = `Indexed then begin
+    fiber.f_sleep_gen <- fiber.f_sleep_gen + 1;
+    Runq.Sleep.push t.sleepq (until_ns, tcb.Ktcb.tid)
+      { sl_fiber = fiber; sl_gen = fiber.f_sleep_gen }
+  end;
   Effect.perform Block_eff
 
 let wakeup t tid =
@@ -216,10 +270,24 @@ let wakeup t tid =
   | Some tcb -> (
       match tcb.Ktcb.state with
       | Ktcb.Blocked _ | Ktcb.Sleeping _ ->
+          let was_sleeping =
+            match tcb.Ktcb.state with Ktcb.Sleeping _ -> true | _ -> false
+          in
           charge t (cost t).Cost.wakeup_ns;
           tcb.Ktcb.state <- Ktcb.Runnable;
+          (if t.sched = `Indexed then
+             match Hashtbl.find_opt t.fibers tid with
+             | Some fiber ->
+                 if was_sleeping then fiber.f_sleep_gen <- fiber.f_sleep_gen + 1;
+                 ready_push t fiber
+             | None -> ());
           true
       | Ktcb.Runnable | Ktcb.Exited -> false)
+
+(* {2 The legacy list-scan scheduler}
+
+   Kept verbatim as the [`Scan] backend: the reference implementation
+   the indexed queues are validated (and benchmarked) against. *)
 
 let runnable_fibers t =
   Hashtbl.fold
@@ -229,7 +297,7 @@ let runnable_fibers t =
       else acc)
     t.fibers []
 
-let pick_next t =
+let pick_next_scan t =
   let better a b =
     let pa = (a.f_tcb.Ktcb.prio, a.f_last_run, a.f_tcb.Ktcb.tid) in
     let pb = (b.f_tcb.Ktcb.prio, b.f_last_run, b.f_tcb.Ktcb.tid) in
@@ -246,9 +314,17 @@ let yield (_ : t) =
 let maybe_preempt t =
   let me = current_fiber t in
   let higher =
-    List.exists
-      (fun f -> f != me && f.f_tcb.Ktcb.prio < me.f_tcb.Ktcb.prio)
-      (runnable_fibers t)
+    match t.sched with
+    | `Scan ->
+        List.exists
+          (fun f -> f != me && f.f_tcb.Ktcb.prio < me.f_tcb.Ktcb.prio)
+          (runnable_fibers t)
+    | `Indexed -> (
+        (* the executing fiber is never in the ready heap, so the top —
+           which carries the minimum priority — is the best contender *)
+        match Runq.Ready.peek t.ready with
+        | Some ((prio, _, _), _) -> prio < me.f_tcb.Ktcb.prio
+        | None -> false)
   in
   if higher then yield t
 
@@ -365,11 +441,13 @@ let handler t fiber =
     retc =
       (fun () ->
         fiber.f_resume <- Finished;
-        fiber.f_tcb.Ktcb.state <- Ktcb.Exited);
+        fiber.f_tcb.Ktcb.state <- Ktcb.Exited;
+        t.live <- t.live - 1);
     exnc =
       (fun e ->
         fiber.f_resume <- Finished;
         fiber.f_tcb.Ktcb.state <- Ktcb.Exited;
+        t.live <- t.live - 1;
         match e with
         | Comp.Sys_segfault { cid } -> set_fatal t (Fatal_segfault cid)
         | Comp.Sys_hang { cid } -> set_fatal t (Fatal_hang cid)
@@ -407,7 +485,7 @@ let run_fiber t fiber =
       match fiber.f_tcb.Ktcb.divert with
       | Some cid ->
           fiber.f_tcb.Ktcb.divert <- None;
-          if Sys.getenv_opt "SG_DEBUG_DIVERT" <> None then
+          if t.debug_divert then
             Printf.eprintf "divert tid=%d from cid=%d (stack innermost=%s)\n"
               fiber.f_tcb.Ktcb.tid cid
               (match Ktcb.current_component fiber.f_tcb with
@@ -416,19 +494,50 @@ let run_fiber t fiber =
       | None -> Effect.Deep.continue k ()));
   t.current <- None
 
-let earliest_sleeper t =
+(* dequeue for dispatch; [requeue] puts the fiber back iff it is still
+   runnable after its slice (it yielded rather than blocked or exited) *)
+let next_fiber t =
+  match t.sched with
+  | `Scan -> pick_next_scan t
+  | `Indexed -> (
+      match Runq.Ready.pop t.ready with
+      | Some (_, fiber) -> Some fiber
+      | None -> None)
+
+let requeue t fiber =
+  if t.sched = `Indexed then
+    match (fiber.f_resume, fiber.f_tcb.Ktcb.state) with
+    | (Start _ | Suspended _), Ktcb.Runnable -> ready_push t fiber
+    | _ -> ()
+
+let earliest_sleeper_scan t =
   List.fold_left
     (fun acc tcb ->
       match tcb.Ktcb.state with
       | Ktcb.Sleeping { until_ns; _ } -> (
           match acc with
-          | Some (_, best) when best <= until_ns -> acc
-          | _ -> Some (tcb, until_ns))
+          | Some best when best <= until_ns -> acc
+          | _ -> Some until_ns)
       | Ktcb.Runnable | Ktcb.Blocked _ | Ktcb.Exited -> acc)
     None
     (Ktcb.all t.sk.Kernel.threads)
 
-let wake_expired_sleepers t =
+let rec earliest_sleeper_indexed t =
+  match Runq.Sleep.peek t.sleepq with
+  | None -> None
+  | Some ((until_ns, _), entry) ->
+      if sleeper_live entry then Some until_ns
+      else begin
+        ignore (Runq.Sleep.pop t.sleepq);
+        earliest_sleeper_indexed t
+      end
+
+let earliest_wakeup t =
+  match t.sched with
+  | `Scan -> earliest_sleeper_scan t
+  | `Indexed -> earliest_sleeper_indexed t
+
+let wake_expired_scan t =
   List.iter
     (fun tcb ->
       match tcb.Ktcb.state with
@@ -437,10 +546,36 @@ let wake_expired_sleepers t =
       | Ktcb.Sleeping _ | Ktcb.Runnable | Ktcb.Blocked _ | Ktcb.Exited -> ())
     (Ktcb.all t.sk.Kernel.threads)
 
+let rec wake_expired_indexed t =
+  match Runq.Sleep.peek t.sleepq with
+  | None -> ()
+  | Some ((until_ns, _), entry) ->
+      if not (sleeper_live entry) then begin
+        ignore (Runq.Sleep.pop t.sleepq);
+        wake_expired_indexed t
+      end
+      else if until_ns <= now t then begin
+        ignore (Runq.Sleep.pop t.sleepq);
+        entry.sl_fiber.f_sleep_gen <- entry.sl_fiber.f_sleep_gen + 1;
+        entry.sl_fiber.f_tcb.Ktcb.state <- Ktcb.Runnable;
+        ready_push t entry.sl_fiber;
+        wake_expired_indexed t
+      end
+
+let wake_expired_sleepers t =
+  match t.sched with
+  | `Scan -> wake_expired_scan t
+  | `Indexed -> wake_expired_indexed t
+
 let live_threads t =
   List.filter
     (fun tcb -> tcb.Ktcb.state <> Ktcb.Exited)
     (Ktcb.all t.sk.Kernel.threads)
+
+let no_live_threads t =
+  match t.sched with
+  | `Scan -> live_threads t = []
+  | `Indexed -> t.live = 0
 
 let rec run t =
   match t.sim_fatal with
@@ -449,14 +584,15 @@ let rec run t =
       (* busy threads advance the clock through charges, so timed sleeps
          can expire while others run *)
       wake_expired_sleepers t;
-      match pick_next t with
+      match next_fiber t with
       | Some fiber ->
           run_fiber t fiber;
+          requeue t fiber;
           run t
       | None -> (
-          match earliest_sleeper t with
-          | Some (_, until_ns) ->
+          match earliest_wakeup t with
+          | Some until_ns ->
               Clock.advance_to t.sk.Kernel.clock until_ns;
               wake_expired_sleepers t;
               run t
-          | None -> if live_threads t = [] then Completed else Deadlock))
+          | None -> if no_live_threads t then Completed else Deadlock))

@@ -48,9 +48,19 @@ type run_result = Completed | Fatal of fatal | Deadlock
 
 (** [retention] sets the built-in observability sink's policy (default
     [Recovery]); pass [All] to retain the full event stream for
-    {!Sg_obs.Check.run} or JSON-lines export. *)
+    {!Sg_obs.Check.run} or JSON-lines export.
+
+    [sched] selects the dispatcher backend. [`Indexed] (the default)
+    maintains the ready and sleeper sets incrementally in {!Runq} heaps;
+    [`Scan] is the legacy O(threads)-per-decision list scan, kept as the
+    reference implementation for the golden-trace determinism tests and
+    the [bench sched] comparison. Both backends dispatch threads in the
+    exact same [(prio, last_run, tid)] order, so every observable
+    behaviour — event streams, virtual times, campaign outcomes — is
+    bit-for-bit identical across them. *)
 val create :
   ?cost:Sg_kernel.Cost.t -> ?seed:int -> ?retention:Sg_obs.Sink.retention ->
+  ?sched:[ `Scan | `Indexed ] ->
   unit -> t
 val kernel : t -> Sg_kernel.Kernel.t
 val cost : t -> Sg_kernel.Cost.t

@@ -107,16 +107,14 @@ let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
     let remaining = injections - acc.r_injected in
     if remaining <= 0 then acc
     else
-      let injected, row =
+      let _injected, row =
         run_chunk ?on_event ~mode ~iface ~seed:chunk_seed ~period_ns
           ~iters:chunk_iters ~budget:remaining ~cmon_period_ns ()
       in
-      let acc = add acc row in
-      if injected = 0 then
-        (* the workload finished before the first injection was due:
-           keep going with a fresh run *)
-        go acc (chunk_seed + 1)
-      else go acc (chunk_seed + 1)
+      (* even when the workload finished before the first injection was
+         due (injected = 0), keep going with a fresh run: the next chunk
+         seed reshuffles the injection schedule *)
+      go (add acc row) (chunk_seed + 1)
   in
   go (empty iface) seed
 

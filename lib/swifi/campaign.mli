@@ -22,6 +22,31 @@ type row = {
   r_reboots : int;  (** micro-reboots performed across the campaign *)
 }
 
+val empty : string -> row
+(** A zero row for the given interface. *)
+
+val add : row -> row -> row
+(** Pointwise sum of the counts ([r_iface] taken from the left operand).
+    Associative and order-independent, which is what lets {!Pardriver}
+    merge chunk rows computed on different domains. *)
+
+val run_chunk :
+  ?on_event:(Sg_obs.Event.t -> unit) ->
+  mode:Sg_components.Sysbuild.mode ->
+  iface:string ->
+  seed:int ->
+  period_ns:int ->
+  iters:int ->
+  budget:int ->
+  cmon_period_ns:int option ->
+  unit ->
+  int * row
+(** One workload execution on a fresh simulator with the injector armed
+    for at most [budget] faults; returns the number actually injected
+    and the accounted row. Chunks are deterministic functions of
+    [(mode, iface, seed)] plus the injection parameters, and share no
+    mutable state — {!Pardriver} runs them on separate domains. *)
+
 val run :
   ?seed:int ->
   ?period_ns:int ->

@@ -1,0 +1,143 @@
+(* Multicore campaign driver.
+
+   Campaign chunks are independent deterministic runs keyed by
+   (mode, iface, chunk_seed): each one builds a fresh simulator and its
+   own sink, so chunks can execute on separate domains with no shared
+   mutable state. The only sequential dependency in [Campaign.run] is
+   the injection *budget*: chunk [i] runs with
+   [budget = injections - injected so far], so its cap depends on every
+   earlier chunk.
+
+   We break that dependency speculatively. Workers run chunks uncapped
+   ([budget = injections], the loosest cap any sequential chunk can get)
+   and the merge replays the sequential budget arithmetic in seed order:
+
+   - if a speculative chunk injected strictly fewer faults than the
+     sequential [remaining] at its position, its cap was not binding in
+     either execution — the runs are identical and the speculative row
+     is reused as-is;
+   - otherwise the cap *was* binding sequentially (this is the campaign's
+     final chunk): the chunk is re-run once, in the merging domain, with
+     the exact sequential budget.
+
+   The merged row is therefore equal, count for count, to what
+   [Campaign.run] produces — verified by the [pardriver] test and the
+   [-j N] totals acceptance check. *)
+
+type chunk_result = {
+  cr_injected : int;
+  cr_row : Campaign.row;
+  cr_events : Sg_obs.Event.t list;  (* in order; empty unless collecting *)
+}
+
+let run_one ~collect ~mode ~iface ~period_ns ~chunk_iters ~cmon_period_ns
+    ~chunk_seed ~budget =
+  let events = ref [] in
+  let on_event = if collect then Some (fun e -> events := e :: !events) else None in
+  let injected, row =
+    Campaign.run_chunk ?on_event ~mode ~iface ~seed:chunk_seed ~period_ns
+      ~iters:chunk_iters ~budget ~cmon_period_ns ()
+  in
+  { cr_injected = injected; cr_row = row; cr_events = List.rev !events }
+
+let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
+    ?(collect_events = true) ?on_chunk ~jobs ~mode ~iface ~injections () =
+  let jobs = max 1 jobs in
+  let collect = collect_events && on_chunk <> None in
+  let deliver chunk_seed events =
+    match on_chunk with Some f -> f ~seed:chunk_seed events | None -> ()
+  in
+  let run_one = run_one ~collect ~mode ~iface ~period_ns ~chunk_iters
+      ~cmon_period_ns in
+  if jobs = 1 then begin
+    (* plain sequential loop — same seeds, same budgets, same arithmetic
+       as [Campaign.run], so the result (and any emitted trace) is
+       byte-identical to the single-core driver *)
+    let rec go acc chunk_seed =
+      let remaining = injections - acc.Campaign.r_injected in
+      if remaining <= 0 then acc
+      else begin
+        let r = run_one ~chunk_seed ~budget:remaining in
+        deliver chunk_seed r.cr_events;
+        go (Campaign.add acc r.cr_row) (chunk_seed + 1)
+      end
+    in
+    go (Campaign.empty iface) seed
+  end
+  else begin
+    (* The first chunk's sequential budget is [injections] itself, so run
+       it in this domain before spawning workers: it doubles as the
+       warm-up of the process-wide compile caches (Compiler.builtin /
+       Interp.counter), which become read-only for the rest of the
+       campaign. *)
+    let first = run_one ~chunk_seed:seed ~budget:injections in
+    let acc = ref (Campaign.add (Campaign.empty iface) first.cr_row) in
+    deliver seed first.cr_events;
+    if injections - !acc.Campaign.r_injected <= 0 then !acc
+    else begin
+      let next_seed = Atomic.make (seed + 1) in
+      let stop = Atomic.make false in
+      let m = Mutex.create () in
+      let ready = Condition.create () in
+      let results : (int, (chunk_result, exn) result) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      let put s r =
+        Mutex.lock m;
+        Hashtbl.replace results s r;
+        Condition.broadcast ready;
+        Mutex.unlock m
+      in
+      let take s =
+        Mutex.lock m;
+        while not (Hashtbl.mem results s) do
+          Condition.wait ready m
+        done;
+        let r = Hashtbl.find results s in
+        Hashtbl.remove results s;
+        Mutex.unlock m;
+        r
+      in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let s = Atomic.fetch_and_add next_seed 1 in
+          if Atomic.get stop then continue_ := false
+          else
+            put s
+              (match run_one ~chunk_seed:s ~budget:injections with
+              | r -> Ok r
+              | exception e -> Error e)
+        done
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let finish () =
+        Atomic.set stop true;
+        List.iter Domain.join domains
+      in
+      let rec merge chunk_seed =
+        let remaining = injections - !acc.Campaign.r_injected in
+        if remaining <= 0 then finish ()
+        else
+          match take chunk_seed with
+          | Error e ->
+              finish ();
+              raise e
+          | Ok r when r.cr_injected < remaining ->
+              (* cap not binding: identical to the sequential chunk *)
+              deliver chunk_seed r.cr_events;
+              acc := Campaign.add !acc r.cr_row;
+              merge (chunk_seed + 1)
+          | Ok _ ->
+              (* the sequential cap would have stopped this chunk early:
+                 this is the campaign's last chunk — redo it with the
+                 exact sequential budget *)
+              finish ();
+              let r = run_one ~chunk_seed ~budget:remaining in
+              deliver chunk_seed r.cr_events;
+              acc := Campaign.add !acc r.cr_row
+      in
+      merge (seed + 1);
+      !acc
+    end
+  end

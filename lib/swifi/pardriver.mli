@@ -1,0 +1,36 @@
+(** Multicore SWIFI campaign driver.
+
+    Fans {!Campaign} chunks across [jobs] domains ([Domain.spawn]); each
+    chunk builds its own simulator and sink, so chunks share no mutable
+    state. The merge replays the sequential budget arithmetic in seed
+    order, re-running (at most) the campaign's final chunk with its
+    exact sequential budget, so the merged row equals — count for
+    count — the row {!Campaign.run} produces with the same parameters.
+
+    [jobs = 1] is a plain sequential loop with the same seeds and
+    budgets as {!Campaign.run}: output (including any trace delivered
+    through [on_chunk]) is byte-identical to the single-core driver.
+
+    [on_chunk] is called in merge (seed) order, once per chunk whose row
+    was used, with that chunk's full event stream (every emission, as a
+    subscriber sees it). Event sequence numbers and timestamps restart
+    per chunk; concatenating streams for [sgtrace check] requires
+    re-stamping and a ["sys-reboot"] note at each boundary (see
+    [bin/campaign.ml]). Collection is only enabled when [on_chunk] is
+    given; pass [collect_events:false] to keep the callback (e.g. to
+    count chunks) while skipping collection — the event lists are then
+    empty. *)
+
+val run :
+  ?seed:int ->
+  ?period_ns:int ->
+  ?chunk_iters:int ->
+  ?cmon_period_ns:int ->
+  ?collect_events:bool ->
+  ?on_chunk:(seed:int -> Sg_obs.Event.t list -> unit) ->
+  jobs:int ->
+  mode:Sg_components.Sysbuild.mode ->
+  iface:string ->
+  injections:int ->
+  unit ->
+  Campaign.row

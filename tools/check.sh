@@ -16,4 +16,22 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== perf smoke: bench sched --quick writes valid BENCH_sched.json"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+./_build/default/bench/main.exe sched --quick --out "$tmpdir/BENCH_sched.json" > /dev/null
+python3 - "$tmpdir/BENCH_sched.json" <<'EOF'
+import json, sys
+b = json.load(open(sys.argv[1]))
+assert b["bench"] == "sched"
+for k in ("scan", "indexed"):
+    assert b[k]["wall_s"] > 0 and b[k]["dispatch_per_s"] > 0
+assert b["speedup_indexed_vs_scan"] > 0
+EOF
+
+echo "== perf smoke: sgtrace check passes on a -j 2 campaign stream"
+./_build/default/bin/campaign.exe --iface lock -n 40 --seed 3 -j 2 \
+    --trace "$tmpdir/trace.jsonl" > /dev/null 2>&1
+./_build/default/bin/sgtrace.exe check --incomplete "$tmpdir/trace.jsonl" > /dev/null
+
 echo "== tier-1 gate OK"
