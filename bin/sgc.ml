@@ -1,8 +1,12 @@
 (* sgc — the SuperGlue IDL compiler command-line interface.
 
    Compiles .sgidl interface specifications into stub modules, renders
-   the plain header of the paper's first pipeline stage, and reports the
-   model/mechanism/state-machine diagnostics. *)
+   the plain header of the paper's first pipeline stage, reports the
+   model/mechanism/state-machine diagnostics, and lints specifications
+   with the recovery-soundness static analyzer.
+
+   Exit codes: 0 success (lint: no error-severity findings), 1 lint
+   found errors, 2 compile error. *)
 
 open Cmdliner
 module Compiler = Superglue.Compiler
@@ -10,12 +14,20 @@ module Codegen = Superglue.Codegen
 module Machine = Superglue.Machine
 module Model = Superglue.Model
 module Ir = Superglue.Ir
+module Diag = Superglue.Diag
+module Analysis = Sg_analysis.Analysis
+module Json = Sg_analysis.Json
+
+let exit_ok = 0
+let exit_findings = 1
+let exit_compile_error = 2
 
 let load source builtin =
   match (source, builtin) with
-  | Some path, None -> Compiler.compile_file path
-  | None, Some name -> Compiler.builtin name
-  | _ -> failwith "give exactly one of FILE or --builtin NAME"
+  | Some path, None -> Ok (Compiler.compile_file path)
+  | None, Some name -> Ok (Compiler.builtin name)
+  | None, None -> Error "give an interface: FILE or --builtin NAME"
+  | Some _, Some _ -> Error "give exactly one of FILE or --builtin NAME"
 
 let write_out out text =
   match out with
@@ -46,16 +58,27 @@ let out_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
 
-let handle f =
-  try `Ok (f ()) with
-  | Compiler.Compile_error msg -> `Error (false, msg)
-  | Failure msg -> `Error (false, msg)
+let print_diag d = Printf.eprintf "%s\n" (Diag.to_string d)
+
+(* A single-artifact command body: load, run, map errors to exit codes.
+   CLI misuse (no/both inputs) is a Cmdliner usage error. *)
+let handle source builtin f =
+  match load source builtin with
+  | Error msg -> `Error (true, msg)
+  | Ok a -> (
+      match f a with
+      | () -> `Ok exit_ok
+      | exception Compiler.Compile_error ds ->
+          List.iter print_diag ds;
+          `Ok exit_compile_error)
+  | exception Compiler.Compile_error ds ->
+      List.iter print_diag ds;
+      `Ok exit_compile_error
 
 let compile_cmd =
   let run source builtin out =
-    handle (fun () ->
-        let a = load source builtin in
-        List.iter (Printf.eprintf "warning: %s\n") a.Compiler.a_warnings;
+    handle source builtin (fun a ->
+        List.iter print_diag a.Compiler.a_warnings;
         write_out out (Codegen.emit a))
   in
   Cmd.v
@@ -64,8 +87,7 @@ let compile_cmd =
 
 let header_cmd =
   let run source builtin out =
-    handle (fun () ->
-        let a = load source builtin in
+    handle source builtin (fun a ->
         write_out out (Compiler.emit_header a.Compiler.a_ir))
   in
   Cmd.v
@@ -74,8 +96,7 @@ let header_cmd =
 
 let check_cmd =
   let run source builtin =
-    handle (fun () ->
-        let a = load source builtin in
+    handle source builtin (fun a ->
         let ir = a.Compiler.a_ir in
         Printf.printf "interface %s: %d functions, %d LOC of IDL\n"
           a.Compiler.a_name
@@ -97,7 +118,9 @@ let check_cmd =
                 | r -> "; restore: " ^ String.concat " " r)
             end)
           (Machine.states a.Compiler.a_machine);
-        List.iter (Printf.printf "warning: %s\n") a.Compiler.a_warnings)
+        List.iter
+          (fun d -> Printf.printf "%s\n" (Diag.to_string d))
+          a.Compiler.a_warnings)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Diagnostics: model, mechanisms, recovery plans.")
@@ -105,8 +128,7 @@ let check_cmd =
 
 let graph_cmd =
   let run source builtin out =
-    handle (fun () ->
-        let a = load source builtin in
+    handle source builtin (fun a ->
         write_out out (Machine.to_dot a.Compiler.a_machine))
   in
   Cmd.v
@@ -116,9 +138,64 @@ let graph_cmd =
           Graphviz DOT (the Fig 2 diagrams).")
     Term.(ret (const run $ file_arg $ builtin_arg $ out_arg))
 
+let lint_cmd =
+  let files_arg =
+    Arg.(
+      value
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Interface specifications (.sgidl).")
+  in
+  let builtins_flag =
+    Arg.(
+      value & flag
+      & info [ "builtins" ]
+          ~doc:"Also lint the six embedded system interfaces.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let run files builtins json =
+    if files = [] && not builtins then
+      `Error (true, "give at least one FILE or --builtins")
+    else
+      match
+        List.map Compiler.compile_file files
+        @ (if builtins then List.map Compiler.builtin Compiler.builtin_names
+           else [])
+      with
+      | artifacts ->
+          let ds = Analysis.lint artifacts in
+          if json then
+            print_endline (Json.to_string (Analysis.report_to_json ds))
+          else begin
+            List.iter (fun d -> Printf.printf "%s\n" (Diag.to_string d)) ds;
+            Printf.printf "%d error(s), %d warning(s), %d info(s)\n"
+              (Diag.count Diag.Error ds)
+              (Diag.count Diag.Warning ds)
+              (Diag.count Diag.Info ds)
+          end;
+          `Ok (if Diag.has_errors ds then exit_findings else exit_ok)
+      | exception Compiler.Compile_error ds ->
+          if json then
+            print_endline (Json.to_string (Analysis.report_to_json ds))
+          else List.iter print_diag ds;
+          `Ok exit_compile_error
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the recovery-soundness static analyzer. Exit 0 if no \
+          error-severity finding, 1 if any, 2 on compile errors.")
+    Term.(ret (const run $ files_arg $ builtins_flag $ json_flag))
+
 let () =
   let info =
     Cmd.info "sgc" ~version:"1.0"
       ~doc:"SuperGlue IDL compiler for interface-driven fault recovery"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; header_cmd; check_cmd; graph_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; header_cmd; check_cmd; graph_cmd; lint_cmd ]))

@@ -1,0 +1,22 @@
+(** A minimal generic JSON value with a printer and parser — the
+    carrier for [sgc lint --json] reports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input. Integers only (the report
+    schema has no floats); [\u] escapes above ASCII decode to [?]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] otherwise. *)

@@ -1,0 +1,246 @@
+(* Deterministic seeded-mutant corpus over the six builtin
+   specifications: small text surgeries that each break one recovery
+   assumption the analyzer guards. The test suite compiles every mutant
+   and checks that each rule catches at least one of them (and that the
+   analyzer itself never crashes on any). *)
+
+module Compiler = Superglue.Compiler
+
+type mutant = {
+  m_id : string;  (** "iface/operator/N" *)
+  m_iface : string;
+  m_op : string;
+  m_source : string;
+}
+
+let lines src = String.split_on_char '\n' src
+
+let unlines ls = String.concat "\n" ls
+
+(* Remove the [n]th line matching [pred]; None if there is no such line. *)
+let drop_matching_line pred n src =
+  let ls = lines src in
+  let count = ref (-1) in
+  let dropped = ref false in
+  let kept =
+    List.filter
+      (fun l ->
+        if pred l then begin
+          incr count;
+          if !count = n then begin
+            dropped := true;
+            false
+          end
+          else true
+        end
+        else true)
+      ls
+  in
+  if !dropped then Some (unlines kept) else None
+
+(* Duplicate the [n]th line matching [pred]. *)
+let dup_matching_line pred n src =
+  let ls = lines src in
+  let count = ref (-1) in
+  let hit = ref false in
+  let out =
+    List.concat_map
+      (fun l ->
+        if pred l then begin
+          incr count;
+          if !count = n then begin
+            hit := true;
+            [ l; l ]
+          end
+          else [ l ]
+        end
+        else [ l ])
+      ls
+  in
+  if !hit then Some (unlines out) else None
+
+let starts_with prefix l =
+  let l = String.trim l in
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let count_matching pred src = List.length (List.filter pred (lines src))
+
+(* Replace the first occurrence of [from] after [start] with [by]. *)
+let replace_once ~from ~by src =
+  let n = String.length src and fn = String.length from in
+  let rec find i =
+    if i + fn > n then None
+    else if String.sub src i fn = from then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      Some (String.sub src 0 i ^ by ^ String.sub src (i + fn) (n - i - fn))
+
+(* Find the [n]th "desc_data(" wrapper that is neither part of
+   desc_data_retval/accum (the substring match already excludes those:
+   they continue with '_') nor wrapping a parent_desc, and unwrap it:
+   "desc_data(int prio)" -> "int prio". *)
+let unwrap_desc_data n src =
+  let key = "desc_data(" in
+  let klen = String.length key in
+  let len = String.length src in
+  let matches = ref [] in
+  let i = ref 0 in
+  while !i + klen <= len do
+    if String.sub src !i klen = key then begin
+      (* not preceded by an identifier character (excludes nothing today,
+         kept for safety) and not wrapping parent_desc *)
+      let prev_ok =
+        !i = 0
+        ||
+        let c = src.[!i - 1] in
+        not
+          ((c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+          || c = '_')
+      in
+      let inner_start = !i + klen in
+      let rec skip_ws j =
+        if j < len && (src.[j] = ' ' || src.[j] = '\t' || src.[j] = '\n') then
+          skip_ws (j + 1)
+        else j
+      in
+      let j = skip_ws inner_start in
+      let wraps_parent =
+        j + 11 <= len && String.sub src j 11 = "parent_desc"
+      in
+      if prev_ok && not wraps_parent then matches := !i :: !matches
+    end;
+    incr i
+  done;
+  let matches = List.rev !matches in
+  match List.nth_opt matches n with
+  | None -> None
+  | Some start ->
+      (* find the matching close paren *)
+      let rec close j depth =
+        if j >= len then None
+        else
+          match src.[j] with
+          | '(' -> close (j + 1) (depth + 1)
+          | ')' -> if depth = 0 then Some j else close (j + 1) (depth - 1)
+          | _ -> close (j + 1) depth
+      in
+      Option.map
+        (fun cp ->
+          String.sub src 0 start
+          ^ String.sub src (start + klen) (cp - start - klen)
+          ^ String.sub src (cp + 1) (len - cp - 1))
+        (close (start + klen) 0)
+
+let flip_desc_has_data src =
+  let ls = lines src in
+  let flipped = ref false in
+  let out =
+    List.map
+      (fun l ->
+        if (not !flipped) && starts_with "desc_has_data" l then begin
+          flipped := true;
+          match
+            ( replace_once ~from:"true" ~by:"false" l,
+              replace_once ~from:"false" ~by:"true" l )
+          with
+          | Some l', _ -> l'
+          | None, Some l' -> l'
+          | None, None -> l
+        end
+        else l)
+      ls
+  in
+  if !flipped then Some (unlines out) else None
+
+let append_decl decl src = Some (src ^ "\n" ^ decl ^ "\n")
+
+(* First declared function of [iface] that has no state-machine role at
+   all — the only safe target for a stray sm_wakeup. *)
+let role_free_fn ir =
+  let module Ir = Superglue.Ir in
+  List.find_map
+    (fun f ->
+      let fn = f.Ir.f_name in
+      if
+        (not (Ir.is_create ir fn))
+        && (not (Ir.is_terminal ir fn))
+        && (not (Ir.is_transient_block ir fn))
+        && (not (List.mem fn ir.Ir.ir_block_holds))
+        && not (Ir.is_wakeup ir fn)
+      then Some fn
+      else None)
+    ir.Ir.ir_funcs
+
+let per_iface iface =
+  let src = Compiler.builtin_source iface in
+  let ir = (Compiler.builtin iface).Compiler.a_ir in
+  let module Ir = Superglue.Ir in
+  let mk op n source = { m_id = Printf.sprintf "%s/%s/%d" iface op n; m_iface = iface; m_op = op; m_source = source } in
+  let indexed op pred ~surgery =
+    let total = count_matching pred src in
+    List.init total (fun n ->
+        Option.map (mk op n) (surgery pred n src))
+    |> List.filter_map Fun.id
+  in
+  let transitions = starts_with "sm_transition(" in
+  List.concat
+    [
+      (* every transition dropped, one mutant each *)
+      indexed "drop-transition" transitions ~surgery:drop_matching_line;
+      (* one duplicated transition (enough to exercise SG003) *)
+      (match dup_matching_line transitions 0 src with
+      | Some s -> [ mk "dup-transition" 0 s ]
+      | None -> []);
+      indexed "drop-wakeup" (starts_with "sm_wakeup(")
+        ~surgery:drop_matching_line;
+      indexed "drop-terminal" (starts_with "sm_terminal(")
+        ~surgery:drop_matching_line;
+      indexed "drop-retval" (starts_with "desc_data_retval(")
+        ~surgery:drop_matching_line;
+      (* sm_block <-> sm_block_hold *)
+      (match replace_once ~from:"sm_block(" ~by:"sm_block_hold(" src with
+      | Some s -> [ mk "swap-block-kind" 0 s ]
+      | None -> []);
+      (match replace_once ~from:"sm_block_hold(" ~by:"sm_block(" src with
+      | Some s -> [ mk "swap-hold-kind" 0 s ]
+      | None -> []);
+      (* strip a desc_data() capture wrapper *)
+      (let rec all n acc =
+         match unwrap_desc_data n src with
+         | Some s -> all (n + 1) (mk "untrack-field" n s :: acc)
+         | None -> List.rev acc
+       in
+       all 0 []);
+      (match flip_desc_has_data src with
+      | Some s -> [ mk "flip-desc-has-data" 0 s ]
+      | None -> []);
+      (* a declared function no state-machine declaration mentions *)
+      (match append_decl "int sg_orphan_probe(desc(long __orphan));" src with
+      | Some s -> [ mk "orphan-fn" 0 s ]
+      | None -> []);
+      (* a terminal doubling as a creation: conflicting roles *)
+      (match ir.Ir.ir_terminals with
+      | t :: _ -> (
+          match append_decl (Printf.sprintf "sm_creation(%s);" t) src with
+          | Some s -> [ mk "creation-on-terminal" 0 s ]
+          | None -> [])
+      | [] -> []);
+      (* a wakeup on a block-free interface *)
+      (if ir.Ir.ir_blocks = [] && ir.Ir.ir_block_holds = [] then
+         match role_free_fn ir with
+         | Some fn -> (
+             match append_decl (Printf.sprintf "sm_wakeup(%s);" fn) src with
+             | Some s -> [ mk "stray-wakeup" 0 s ]
+             | None -> [])
+         | None -> []
+       else []);
+    ]
+
+let builtin_mutants () =
+  List.concat_map per_iface Compiler.builtin_names

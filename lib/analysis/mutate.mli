@@ -1,0 +1,18 @@
+(** Deterministic seeded-mutant corpus over the six builtin
+    specifications, used to validate the analyzer's rule set: each
+    mutant is a small text surgery breaking one recovery assumption
+    (a dropped transition, an untracked datum, a stray wakeup, ...).
+    The test suite asserts every rule catches at least one mutant. *)
+
+type mutant = {
+  m_id : string;  (** "iface/operator/N" *)
+  m_iface : string;
+  m_op : string;
+  m_source : string;  (** the mutated specification text *)
+}
+
+val builtin_mutants : unit -> mutant list
+(** The full corpus, in deterministic order. Some mutants fail to
+    compile (e.g. removing a creation's id source) — callers are
+    expected to treat {!Superglue.Compiler.Compile_error} as a valid
+    detection. *)

@@ -65,6 +65,18 @@ type system = {
   sys_stub : client:Comp.cid -> iface:string -> Cstub.t option;
 }
 
+(* Registration (= boot and recovery) order of the system services. A
+   service may only name an earlier service as its wakeup target: the
+   target must already be recoverable when the dependent reboots. The
+   static analyzer's system pass (SG012) checks specs against this. *)
+let boot_order = [ "sched"; "lock"; "timer"; "evt"; "fs"; "mm" ]
+
+(* (dependent, target, wakeup function): the dependent service wakes
+   threads blocked inside it through [wakeup function] of [target]
+   during T0 eager recovery. *)
+let wakeup_deps =
+  [ ("lock", "sched", "sched_wakeup"); ("evt", "sched", "sched_wakeup") ]
+
 let app_spec name =
   {
     Sim.sc_name = name;
@@ -85,57 +97,70 @@ let build ?(seed = 42) ?cost ?sched mode =
   in
   let app1 = Sim.register sim (app_spec "app1") in
   let app2 = Sim.register sim (app_spec "app2") in
-  let sched_port_for_lock = ref None in
-  let sched_port_for_evt = ref None in
+  (* one wakeup-port cell per declared dependency edge; the same cell is
+     threaded into the service's own spec (its component behavior calls
+     the target through it) and into its server stub (T0) *)
+  let dep_cells =
+    List.map
+      (fun (dependent, target, fn) -> (dependent, (target, fn, ref None)))
+      wakeup_deps
+  in
+  let wakeup_dep_of iface =
+    match List.assoc_opt iface dep_cells with
+    | Some (_, fn, cell) -> Some (cell, fn)
+    | None -> None
+  in
+  let cell_of iface =
+    match List.assoc_opt iface dep_cells with
+    | Some (_, _, cell) -> cell
+    | None -> ref None
+  in
   let maybe_wrap ~iface ~wakeup_dep spec =
     match stubset with
     | None -> spec
     | Some ss -> Serverstub.wrap ~storage (ss.st_server ~iface ~wakeup_dep) spec
   in
-  let sched =
-    Sim.register sim (maybe_wrap ~iface:"sched" ~wakeup_dep:None (Sched.spec ()))
-  in
-  let lock =
-    Sim.register sim
-      (maybe_wrap ~iface:"lock"
-         ~wakeup_dep:(Some (sched_port_for_lock, "sched_wakeup"))
-         (Lock.spec ~sched_port:sched_port_for_lock ()))
-  in
-  let timer =
-    Sim.register sim (maybe_wrap ~iface:"timer" ~wakeup_dep:None (Timer.spec ()))
-  in
-  let evt =
-    Sim.register sim
-      (maybe_wrap ~iface:"evt"
-         ~wakeup_dep:(Some (sched_port_for_evt, "sched_wakeup"))
-         (Event.spec ~sched_port:sched_port_for_evt ()))
-  in
-  let fs =
-    Sim.register sim
-      (maybe_wrap ~iface:"fs" ~wakeup_dep:None (Ramfs.spec ~cbufs ~storage ()))
-  in
-  let mm =
-    Sim.register sim (maybe_wrap ~iface:"mm" ~wakeup_dep:None (Mm.spec ()))
-  in
-  let iface_cid = function
-    | "sched" -> sched
-    | "lock" -> lock
-    | "timer" -> timer
-    | "evt" -> evt
-    | "fs" -> fs
-    | "mm" -> mm
+  let spec_of = function
+    | "sched" -> Sched.spec ()
+    | "lock" -> Lock.spec ~sched_port:(cell_of "lock") ()
+    | "timer" -> Timer.spec ()
+    | "evt" -> Event.spec ~sched_port:(cell_of "evt") ()
+    | "fs" -> Ramfs.spec ~cbufs ~storage ()
+    | "mm" -> Mm.spec ()
     | iface -> invalid_arg ("Sysbuild: unknown interface " ^ iface)
   in
-  (* capability grants: applications reach every service; the lock and
-     event manager reach their server, the scheduler *)
+  let cids =
+    List.map
+      (fun iface ->
+        ( iface,
+          Sim.register sim
+            (maybe_wrap ~iface ~wakeup_dep:(wakeup_dep_of iface)
+               (spec_of iface)) ))
+      boot_order
+  in
+  let iface_cid iface =
+    match List.assoc_opt iface cids with
+    | Some cid -> cid
+    | None -> invalid_arg ("Sysbuild: unknown interface " ^ iface)
+  in
+  let sched = iface_cid "sched" in
+  let lock = iface_cid "lock" in
+  let timer = iface_cid "timer" in
+  let evt = iface_cid "evt" in
+  let fs = iface_cid "fs" in
+  let mm = iface_cid "mm" in
+  (* capability grants: applications reach every service; each dependent
+     service reaches its wakeup target *)
   List.iter
     (fun client ->
       List.iter
-        (fun server -> Sim.grant sim ~client ~server)
-        [ sched; lock; timer; evt; fs; mm ])
+        (fun (_, server) -> Sim.grant sim ~client ~server)
+        cids)
     [ app1; app2 ];
-  Sim.grant sim ~client:lock ~server:sched;
-  Sim.grant sim ~client:evt ~server:sched;
+  List.iter
+    (fun (dependent, target, _) ->
+      Sim.grant sim ~client:(iface_cid dependent) ~server:(iface_cid target))
+    wakeup_deps;
   (* memoized ports: one stub (hence one tracker) per client/interface *)
   let stubs : (Comp.cid * string, Cstub.t) Hashtbl.t = Hashtbl.create 16 in
   let port ~client ~iface =
@@ -157,10 +182,12 @@ let build ?(seed = 42) ?cost ?sched mode =
         in
         Cstub.port stub
   in
-  (* the lock and event manager are clients of the scheduler: wire their
+  (* dependent services are clients of their wakeup targets: wire their
      (possibly stub-interposed) ports *)
-  sched_port_for_lock := Some (port ~client:lock ~iface:"sched");
-  sched_port_for_evt := Some (port ~client:evt ~iface:"sched");
+  List.iter
+    (fun (dependent, (target, _, cell)) ->
+      cell := Some (port ~client:(iface_cid dependent) ~iface:target))
+    dep_cells;
   let stub ~client ~iface = Hashtbl.find_opt stubs (client, iface) in
   {
     sys_sim = sim;

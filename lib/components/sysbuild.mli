@@ -31,6 +31,16 @@ type mode =
   | Base
   | Stubbed of (Sg_storage.Storage.t -> stubset)
 
+val boot_order : string list
+(** Registration (= boot and recovery) order of the six system services.
+    A service may only name an earlier service as its wakeup target. *)
+
+val wakeup_deps : (string * string * string) list
+(** [(dependent, target, wakeup_fn)] edges: during T0 eager recovery the
+    dependent service wakes threads blocked inside it through
+    [wakeup_fn] of [target]. The static analyzer's system pass ([SG012])
+    checks interface specs against these edges and {!boot_order}. *)
+
 val c3_stubset : Sg_storage.Storage.t -> stubset
 (** The hand-written C³ baseline stubs. *)
 

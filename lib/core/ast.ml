@@ -1,4 +1,8 @@
-type global_kv = { gk_key : string; gk_value : string; gk_line : int }
+type pos = { pos_line : int; pos_col : int }
+
+let no_pos = { pos_line = 0; pos_col = 0 }
+
+type global_kv = { gk_key : string; gk_value : string; gk_pos : pos }
 
 type sm_decl =
   | Transition of string * string
@@ -16,7 +20,12 @@ type param_attr =
   | ADescDataParent
   | ADescNs
 
-type param = { pa_attr : param_attr; pa_type : string; pa_name : string }
+type param = {
+  pa_attr : param_attr;
+  pa_type : string;
+  pa_name : string;
+  pa_pos : pos;
+}
 
 type retval_annot = {
   ra_kind : [ `Set | `Accum ];
@@ -29,12 +38,12 @@ type fndecl = {
   fd_name : string;
   fd_params : param list;
   fd_retval : retval_annot option;
-  fd_line : int;
+  fd_pos : pos;
 }
 
 type item =
   | Global of global_kv list
-  | Sm of sm_decl * int
+  | Sm of sm_decl * pos
   | Fn of fndecl
 
 type t = item list

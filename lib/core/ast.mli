@@ -1,7 +1,15 @@
 (** Abstract syntax of a SuperGlue interface specification (paper
-    Table I / Fig 3). *)
+    Table I / Fig 3). Every node carries the line/column position of the
+    token that introduced it, so semantic errors and analyzer
+    diagnostics can point at real source spans. *)
 
-type global_kv = { gk_key : string; gk_value : string; gk_line : int }
+type pos = { pos_line : int; pos_col : int }
+(** 1-based line and column. *)
+
+val no_pos : pos
+(** [{0; 0}] — for synthesized nodes. *)
+
+type global_kv = { gk_key : string; gk_value : string; gk_pos : pos }
 
 type sm_decl =
   | Transition of string * string
@@ -27,7 +35,12 @@ type param_attr =
           descriptors are per-component names, e.g. the memory manager's
           (component, vaddr) pairs) *)
 
-type param = { pa_attr : param_attr; pa_type : string; pa_name : string }
+type param = {
+  pa_attr : param_attr;
+  pa_type : string;
+  pa_name : string;
+  pa_pos : pos;
+}
 
 type retval_annot = {
   ra_kind : [ `Set | `Accum ];
@@ -44,12 +57,12 @@ type fndecl = {
   fd_name : string;
   fd_params : param list;
   fd_retval : retval_annot option;
-  fd_line : int;
+  fd_pos : pos;
 }
 
 type item =
   | Global of global_kv list
-  | Sm of sm_decl * int
+  | Sm of sm_decl * pos
   | Fn of fndecl
 
 type t = item list

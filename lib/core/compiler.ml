@@ -3,22 +3,31 @@ type artifact = {
   a_source : string;
   a_ir : Ir.t;
   a_machine : Machine.t;
-  a_warnings : string list;
+  a_warnings : Diag.t list;
 }
 
-exception Compile_error of string
+exception Compile_error of Diag.t list
+
+let error_to_string ds = String.concat "; " (List.map Diag.to_string ds)
 
 let compile ~name source =
-  let fail fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt in
+  let fail ~code ~line ~col fmt =
+    Printf.ksprintf
+      (fun m ->
+        let span = { Diag.sp_file = name; sp_line = line; sp_col = col } in
+        raise (Compile_error [ Diag.make ~span ~code ~severity:Diag.Error m ]))
+      fmt
+  in
   let ast =
     try Parser.parse source with
-    | Lexer.Lex_error { line; message } -> fail "%s:%d: %s" name line message
-    | Parser.Parse_error { line; message } -> fail "%s:%d: %s" name line message
+    | Lexer.Lex_error { line; col; message } ->
+        fail ~code:"SG900" ~line ~col "%s" message
+    | Parser.Parse_error { line; col; message } ->
+        fail ~code:"SG901" ~line ~col "%s" message
   in
   let ir =
     try Ir.of_ast ~name ast
-    with Ir.Semantic_error msgs ->
-      fail "%s: %s" name (String.concat "; " msgs)
+    with Ir.Semantic_error ds -> raise (Compile_error ds)
   in
   {
     a_name = name;

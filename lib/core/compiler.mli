@@ -11,11 +11,17 @@ type artifact = {
   a_source : string;  (** the specification text *)
   a_ir : Ir.t;
   a_machine : Machine.t;
-  a_warnings : string list;
+  a_warnings : Diag.t list;
+      (** non-fatal diagnostics collected during compilation (today:
+          the [SG020] state-class-collapsing infos) *)
 }
 
-exception Compile_error of string
-(** Wraps lexer, parser and semantic errors with the interface name. *)
+exception Compile_error of Diag.t list
+(** Lexer ([SG900]), parser ([SG901]) and semantic ([SG902]) errors,
+    each with a [file:line:col] span. *)
+
+val error_to_string : Diag.t list -> string
+(** Render a {!Compile_error} payload as a single ["; "]-joined line. *)
 
 val compile : name:string -> string -> artifact
 val compile_file : string -> artifact

@@ -1,0 +1,70 @@
+(* Typed compiler/analyzer diagnostics: rule code, severity, message and
+   a source span, replacing the bare warning strings the pipeline used
+   to emit. Rule codes are stable (SGxxx) so tooling can gate on them;
+   see DESIGN.md for the code-to-mechanism mapping. *)
+
+type severity = Error | Warning | Info
+
+type span = { sp_file : string; sp_line : int; sp_col : int }
+
+type t = {
+  d_code : string;
+  d_severity : severity;
+  d_span : span option;
+  d_message : string;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let make ?span ~code ~severity message =
+  { d_code = code; d_severity = severity; d_span = span; d_message = message }
+
+let makef ?span ~code ~severity fmt =
+  Printf.ksprintf (make ?span ~code ~severity) fmt
+
+let errorf ?span ~code fmt = makef ?span ~code ~severity:Error fmt
+let warningf ?span ~code fmt = makef ?span ~code ~severity:Warning fmt
+let infof ?span ~code fmt = makef ?span ~code ~severity:Info fmt
+
+let span_to_string sp =
+  Printf.sprintf "%s:%d:%d" sp.sp_file sp.sp_line sp.sp_col
+
+let to_string d =
+  let loc =
+    match d.d_span with None -> "" | Some sp -> span_to_string sp ^ ": "
+  in
+  Printf.sprintf "%s%s %s: %s" loc
+    (severity_to_string d.d_severity)
+    d.d_code d.d_message
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_diag a b =
+  let file d = match d.d_span with None -> "" | Some s -> s.sp_file in
+  let line d = match d.d_span with None -> 0 | Some s -> s.sp_line in
+  let col d = match d.d_span with None -> 0 | Some s -> s.sp_col in
+  match compare (file a) (file b) with
+  | 0 -> (
+      match compare (line a, col a) (line b, col b) with
+      | 0 -> (
+          match compare (severity_rank a.d_severity) (severity_rank b.d_severity) with
+          | 0 -> compare (a.d_code, a.d_message) (b.d_code, b.d_message)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort ds = List.sort compare_diag ds
+
+let count sev ds = List.length (List.filter (fun d -> d.d_severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.d_severity = Error) ds
+
+let messages ds = List.map (fun d -> d.d_message) ds

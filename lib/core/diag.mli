@@ -1,0 +1,50 @@
+(** Typed diagnostics for the compiler and the {!Sg_analysis} static
+    analyzer: a stable rule code ([SGxxx]), a severity, a message and an
+    optional source span, replacing the bare warning strings the
+    pipeline used to emit. DESIGN.md maps each rule code to the paper
+    mechanism it guards. *)
+
+type severity = Error | Warning | Info
+
+type span = {
+  sp_file : string;  (** interface name or file basename *)
+  sp_line : int;  (** 1-based *)
+  sp_col : int;  (** 1-based *)
+}
+
+type t = {
+  d_code : string;  (** e.g. "SG004" *)
+  d_severity : severity;
+  d_span : span option;  (** [None] for system-level findings *)
+  d_message : string;
+}
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+val make : ?span:span -> code:string -> severity:severity -> string -> t
+
+val makef :
+  ?span:span ->
+  code:string ->
+  severity:severity ->
+  ('a, unit, string, t) format4 ->
+  'a
+
+val errorf : ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+val warningf : ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+val infof : ?span:span -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+val span_to_string : span -> string
+
+val to_string : t -> string
+(** ["file:line:col: severity SGxxx: message"]. *)
+
+val compare_diag : t -> t -> int
+(** Order by file, position, severity, code — the order lint output is
+    rendered in. *)
+
+val sort : t list -> t list
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+val messages : t list -> string list

@@ -3,11 +3,13 @@ type func = {
   f_ret : string option;
   f_retval : Ast.retval_annot option;
   f_params : Ast.param list;
+  f_pos : Ast.pos;
 }
 
 type t = {
   ir_name : string;
   ir_model : Model.t;
+  ir_model_pos : Ast.pos;
   ir_funcs : func list;
   ir_creates : string list;
   ir_terminals : string list;
@@ -15,9 +17,17 @@ type t = {
   ir_block_holds : string list;
   ir_wakeups : string list;
   ir_transitions : (string * string) list;
+  ir_sm_decls : (Ast.sm_decl * Ast.pos) list;
 }
 
-exception Semantic_error of string list
+exception Semantic_error of Diag.t list
+
+let span ~name (pos : Ast.pos) =
+  {
+    Diag.sp_file = name;
+    sp_line = pos.Ast.pos_line;
+    sp_col = pos.Ast.pos_col;
+  }
 
 let func t name = List.find_opt (fun f -> f.f_name = name) t.ir_funcs
 
@@ -62,47 +72,57 @@ let marshal_is_string ty =
   || ty = "string"
   || ty = "char_ptr"
 
-let bool_of kv errors =
+let bool_of ~name kv errors =
   match String.lowercase_ascii kv.Ast.gk_value with
   | "true" -> true
   | "false" -> false
   | v ->
       errors :=
-        Printf.sprintf "line %d: %s must be true or false, not %s" kv.Ast.gk_line
-          kv.Ast.gk_key v
+        Diag.errorf ~code:"SG902"
+          ~span:(span ~name kv.Ast.gk_pos)
+          "%s must be true or false, not %s" kv.Ast.gk_key v
         :: !errors;
       false
 
-let model_of_globals kvs errors =
+let model_of_globals ~name kvs errors =
   List.fold_left
     (fun m kv ->
       match kv.Ast.gk_key with
-      | "desc_block" -> { m with Model.block = bool_of kv errors }
-      | "resc_has_data" -> { m with Model.resc_data = bool_of kv errors }
-      | "desc_is_global" -> { m with Model.global = bool_of kv errors }
+      | "desc_block" -> { m with Model.block = bool_of ~name kv errors }
+      | "resc_has_data" -> { m with Model.resc_data = bool_of ~name kv errors }
+      | "desc_is_global" -> { m with Model.global = bool_of ~name kv errors }
       | "desc_has_parent" -> (
           match Model.parentage_of_string kv.Ast.gk_value with
           | Some p -> { m with Model.parent = p }
           | None ->
               errors :=
-                Printf.sprintf
-                  "line %d: desc_has_parent must be solo, parent or xcparent"
-                  kv.Ast.gk_line
+                Diag.errorf ~code:"SG902"
+                  ~span:(span ~name kv.Ast.gk_pos)
+                  "desc_has_parent must be solo, parent or xcparent"
                 :: !errors;
               m)
-      | "desc_close_children" -> { m with Model.close_children = bool_of kv errors }
-      | "desc_close_remove" -> { m with Model.close_remove = bool_of kv errors }
-      | "desc_has_data" -> { m with Model.desc_data = bool_of kv errors }
+      | "desc_close_children" ->
+          { m with Model.close_children = bool_of ~name kv errors }
+      | "desc_close_remove" ->
+          { m with Model.close_remove = bool_of ~name kv errors }
+      | "desc_has_data" -> { m with Model.desc_data = bool_of ~name kv errors }
       | key ->
           errors :=
-            Printf.sprintf "line %d: unknown model key %s" kv.Ast.gk_line key
+            Diag.errorf ~code:"SG902"
+              ~span:(span ~name kv.Ast.gk_pos)
+              "unknown model key %s" key
             :: !errors;
           m)
     Model.default kvs
 
 let of_ast ~name ast =
   let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let err ?pos fmt =
+    let span = Option.map (fun p -> span ~name p) pos in
+    Printf.ksprintf
+      (fun m -> errors := Diag.make ?span ~code:"SG902" ~severity:Diag.Error m :: !errors)
+      fmt
+  in
   let funcs =
     List.filter_map
       (function
@@ -113,24 +133,36 @@ let of_ast ~name ast =
                 f_ret = fd.Ast.fd_ret;
                 f_retval = fd.Ast.fd_retval;
                 f_params = fd.Ast.fd_params;
+                f_pos = fd.Ast.fd_pos;
               }
         | Ast.Global _ | Ast.Sm _ -> None)
       ast
   in
-  let model =
+  let model, model_pos =
     match
       List.filter_map (function Ast.Global kvs -> Some kvs | _ -> None) ast
     with
-    | [ kvs ] -> model_of_globals kvs errors
+    | [ kvs ] ->
+        let pos =
+          match kvs with [] -> Ast.no_pos | kv :: _ -> kv.Ast.gk_pos
+        in
+        (model_of_globals ~name kvs errors, pos)
     | [] ->
         err "missing service_global_info block";
-        Model.default
+        (Model.default, Ast.no_pos)
     | _ ->
         err "multiple service_global_info blocks";
-        Model.default
+        (Model.default, Ast.no_pos)
   in
   let declared fn = List.exists (fun f -> f.f_name = fn) funcs in
-  let check fn line = if not (declared fn) then err "line %d: %s is not a declared function" line fn in
+  let check fn pos =
+    if not (declared fn) then err ~pos "%s is not a declared function" fn
+  in
+  let sm_decls =
+    List.filter_map
+      (function Ast.Sm (decl, pos) -> Some (decl, pos) | _ -> None)
+      ast
+  in
   let creates = ref []
   and terminals = ref []
   and blocks = ref []
@@ -138,37 +170,35 @@ let of_ast ~name ast =
   and wakeups = ref []
   and transitions = ref [] in
   List.iter
-    (function
-      | Ast.Sm (decl, line) -> (
-          match decl with
-          | Ast.Transition (a, b) ->
-              check a line;
-              check b line;
-              transitions := (a, b) :: !transitions
-          | Ast.Creation a ->
-              check a line;
-              creates := a :: !creates
-          | Ast.Terminal a ->
-              check a line;
-              terminals := a :: !terminals
-          | Ast.Block a ->
-              check a line;
-              blocks := a :: !blocks
-          | Ast.Block_hold a ->
-              check a line;
-              holds := a :: !holds
-          | Ast.Wakeup a ->
-              check a line;
-              wakeups := a :: !wakeups)
-      | Ast.Global _ | Ast.Fn _ -> ())
-    ast;
+    (fun (decl, pos) ->
+      match decl with
+      | Ast.Transition (a, b) ->
+          check a pos;
+          check b pos;
+          transitions := (a, b) :: !transitions
+      | Ast.Creation a ->
+          check a pos;
+          creates := a :: !creates
+      | Ast.Terminal a ->
+          check a pos;
+          terminals := a :: !terminals
+      | Ast.Block a ->
+          check a pos;
+          blocks := a :: !blocks
+      | Ast.Block_hold a ->
+          check a pos;
+          holds := a :: !holds
+      | Ast.Wakeup a ->
+          check a pos;
+          wakeups := a :: !wakeups)
+    sm_decls;
   if !creates = [] then err "no creation function (sm_creation) declared";
   (* I^block <> {} <-> B_r (paper SectionIII-B) *)
   let has_block = !blocks <> [] || !holds <> [] in
   if has_block && not model.Model.block then
-    err "blocking functions declared but desc_block = false";
+    err ~pos:model_pos "blocking functions declared but desc_block = false";
   if model.Model.block && not has_block then
-    err "desc_block = true but no blocking function declared";
+    err ~pos:model_pos "desc_block = true but no blocking function declared";
   (* every creation function needs an id source: a desc() argument or a
      desc_data_retval annotation *)
   List.iter
@@ -185,11 +215,14 @@ let of_ast ~name ast =
             | _ -> false
           in
           if not (has_desc_param || has_retval) then
-            err "creation function %s has no id source (desc() argument or desc_data_retval)" cf)
+            err ~pos:f.f_pos
+              "creation function %s has no id source (desc() argument or \
+               desc_data_retval)"
+              cf)
     !creates;
   (* parents require a parentage declaration *)
-  let uses_parent =
-    List.exists
+  let parent_user =
+    List.find_opt
       (fun f ->
         List.exists
           (fun p ->
@@ -199,12 +232,15 @@ let of_ast ~name ast =
           f.f_params)
       funcs
   in
-  if uses_parent && model.Model.parent = Model.Solo then
-    err "parent_desc used but desc_has_parent = solo";
+  (match parent_user with
+  | Some f when model.Model.parent = Model.Solo ->
+      err ~pos:f.f_pos "parent_desc used but desc_has_parent = solo"
+  | _ -> ());
   if !errors <> [] then raise (Semantic_error (List.rev !errors));
   {
     ir_name = name;
     ir_model = model;
+    ir_model_pos = model_pos;
     ir_funcs = funcs;
     ir_creates = List.rev !creates;
     ir_terminals = List.rev !terminals;
@@ -212,6 +248,7 @@ let of_ast ~name ast =
     ir_block_holds = List.rev !holds;
     ir_wakeups = List.rev !wakeups;
     ir_transitions = List.rev !transitions;
+    ir_sm_decls = sm_decls;
   }
 
 let warnings t =
@@ -219,9 +256,10 @@ let warnings t =
     (fun f ->
       if (not (is_replayable t f)) && not (is_transient_block t f.f_name) then
         Some
-          (Printf.sprintf
-             "%s: %s has untracked arguments; its post-state is recovered by \
+          (Diag.infof ~code:"SG020"
+             ~span:(span ~name:t.ir_name f.f_pos)
+             "%s has untracked arguments; its post-state is recovered by \
               state-class collapsing"
-             t.ir_name f.f_name)
+             f.f_name)
       else None)
     t.ir_funcs

@@ -9,11 +9,13 @@ type func = {
   f_ret : string option;
   f_retval : Ast.retval_annot option;
   f_params : Ast.param list;
+  f_pos : Ast.pos;  (** declaration site, for diagnostics *)
 }
 
 type t = {
   ir_name : string;  (** interface name (and storage space) *)
   ir_model : Model.t;
+  ir_model_pos : Ast.pos;  (** the service_global_info block's position *)
   ir_funcs : func list;
   ir_creates : string list;  (** I^create *)
   ir_terminals : string list;  (** I^terminate *)
@@ -21,14 +23,22 @@ type t = {
   ir_block_holds : string list;  (** I^block, state-acquiring *)
   ir_wakeups : string list;  (** I^wakeup *)
   ir_transitions : (string * string) list;
+  ir_sm_decls : (Ast.sm_decl * Ast.pos) list;
+      (** every state-machine declaration with its source position, in
+          declaration order — the static analyzer reports duplicate or
+          conflicting declarations against these spans *)
 }
 
-exception Semantic_error of string list
+exception Semantic_error of Diag.t list
+
+val span : name:string -> Ast.pos -> Diag.span
+(** Build a diagnostic span for interface [name] at [pos]. *)
 
 val of_ast : name:string -> Ast.t -> t
-(** Raises {!Semantic_error} with every problem found: undeclared
-    functions in state-machine declarations, a creation function without
-    an id source, a blocking interface with [desc_block = false], etc. *)
+(** Raises {!Semantic_error} with every problem found (rule [SG902]):
+    undeclared functions in state-machine declarations, a creation
+    function without an id source, a blocking interface with
+    [desc_block = false], etc. *)
 
 val func : t -> string -> func option
 val func_exn : t -> string -> func
@@ -53,6 +63,7 @@ val is_replayable : t -> func -> bool
 val marshal_is_string : string -> bool
 (** Whether a declared C type marshals as a string (pointer types). *)
 
-val warnings : t -> string list
-(** Non-fatal diagnostics, e.g. a state whose recovery walk will rely on
-    class collapsing because its function is not replayable. *)
+val warnings : t -> Diag.t list
+(** Non-fatal diagnostics (rule [SG020], severity info): states whose
+    recovery walk relies on class collapsing because their function is
+    not replayable. *)

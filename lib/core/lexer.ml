@@ -10,10 +10,13 @@ type token =
   | Star
   | Eof
 
-type located = { tok : token; line : int }
+type located = { tok : token; line : int; col : int }
 
-exception Lex_error of { line : int; message : string }
+exception Lex_error of { line : int; col : int; message : string }
 
+(* Comments are blanked rather than removed so that every surviving
+   character keeps its original line AND column — diagnostics downstream
+   print real source spans. *)
 let strip_comments src =
   let buf = Buffer.create (String.length src) in
   let n = String.length src in
@@ -23,16 +26,25 @@ let strip_comments src =
       let c = src.[i] in
       match state with
       | `Code ->
-          if c = '/' && i + 1 < n && src.[i + 1] = '*' then go (i + 2) `Block
-          else if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) `Line
+          if c = '/' && i + 1 < n && src.[i + 1] = '*' then begin
+            Buffer.add_string buf "  ";
+            go (i + 2) `Block
+          end
+          else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+            Buffer.add_string buf "  ";
+            go (i + 2) `Line
+          end
           else begin
             Buffer.add_char buf c;
             go (i + 1) `Code
           end
       | `Block ->
-          if c = '*' && i + 1 < n && src.[i + 1] = '/' then go (i + 2) `Code
+          if c = '*' && i + 1 < n && src.[i + 1] = '/' then begin
+            Buffer.add_string buf "  ";
+            go (i + 2) `Code
+          end
           else begin
-            if c = '\n' then Buffer.add_char buf '\n';
+            Buffer.add_char buf (if c = '\n' then '\n' else ' ');
             go (i + 1) `Block
           end
       | `Line ->
@@ -40,7 +52,10 @@ let strip_comments src =
             Buffer.add_char buf '\n';
             go (i + 1) `Code
           end
-          else go (i + 1) `Line
+          else begin
+            Buffer.add_char buf ' ';
+            go (i + 1) `Line
+          end
   in
   go 0 `Code;
   Buffer.contents buf
@@ -55,13 +70,17 @@ let tokenize src =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let emit tok = toks := { tok; line = !line } :: !toks in
+  let bol = ref 0 in
+  (* index of the current line's first character *)
+  let col_of i = i - !bol + 1 in
+  let emit i tok = toks := { tok; line = !line; col = col_of i } :: !toks in
   let rec go i =
     if i >= n then ()
     else
       let c = src.[i] in
       if c = '\n' then begin
         incr line;
+        bol := i + 1;
         go (i + 1)
       end
       else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
@@ -70,28 +89,32 @@ let tokenize src =
         while !j < n && is_ident_char src.[!j] do
           incr j
         done;
-        emit (Ident (String.sub src i (!j - i)));
+        emit i (Ident (String.sub src i (!j - i)));
         go !j
       end
       else begin
         (match c with
-        | '(' -> emit Lparen
-        | ')' -> emit Rparen
-        | '{' -> emit Lbrace
-        | '}' -> emit Rbrace
-        | ',' -> emit Comma
-        | ';' -> emit Semicolon
-        | '=' -> emit Equals
-        | '*' -> emit Star
+        | '(' -> emit i Lparen
+        | ')' -> emit i Rparen
+        | '{' -> emit i Lbrace
+        | '}' -> emit i Rbrace
+        | ',' -> emit i Comma
+        | ';' -> emit i Semicolon
+        | '=' -> emit i Equals
+        | '*' -> emit i Star
         | c ->
             raise
               (Lex_error
-                 { line = !line; message = Printf.sprintf "illegal character %C" c }));
+                 {
+                   line = !line;
+                   col = col_of i;
+                   message = Printf.sprintf "illegal character %C" c;
+                 }));
         go (i + 1)
       end
   in
   go 0;
-  emit Eof;
+  emit n Eof;
   List.rev !toks
 
 let token_to_string = function

@@ -2,7 +2,9 @@
 
     The first compiler stage mirrors the paper's use of the C
     preprocessor (§IV-B): comments are stripped and the specification is
-    tokenized into identifiers and punctuation. *)
+    tokenized into identifiers and punctuation. Every token carries its
+    1-based line and column so downstream diagnostics print real source
+    spans. *)
 
 type token =
   | Ident of string
@@ -16,12 +18,13 @@ type token =
   | Star
   | Eof
 
-type located = { tok : token; line : int }
+type located = { tok : token; line : int; col : int }
 
-exception Lex_error of { line : int; message : string }
+exception Lex_error of { line : int; col : int; message : string }
 
 val strip_comments : string -> string
-(** Remove [/* ... */] and [// ...] comments, preserving line numbers. *)
+(** Blank out [/* ... */] and [// ...] comments, preserving both line
+    numbers and column positions (stripped characters become spaces). *)
 
 val tokenize : string -> located list
 (** Tokenize a (comment-stripped or raw) specification; always ends with

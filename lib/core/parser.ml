@@ -1,20 +1,28 @@
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
 type cursor = { mutable toks : Lexer.located list }
 
 let peek c =
-  match c.toks with [] -> { Lexer.tok = Lexer.Eof; line = 0 } | t :: _ -> t
+  match c.toks with
+  | [] -> { Lexer.tok = Lexer.Eof; line = 0; col = 0 }
+  | t :: _ -> t
 
 let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let pos_of (t : Lexer.located) =
+  { Ast.pos_line = t.Lexer.line; pos_col = t.Lexer.col }
+
+let fail (t : Lexer.located) fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Parse_error { line = t.Lexer.line; col = t.Lexer.col; message }))
+    fmt
 
 let expect c tok =
   let t = peek c in
   if t.Lexer.tok = tok then advance c
   else
-    fail t.Lexer.line "expected %s but found %s" (Lexer.token_to_string tok)
+    fail t "expected %s but found %s" (Lexer.token_to_string tok)
       (Lexer.token_to_string t.Lexer.tok)
 
 let expect_ident c =
@@ -23,9 +31,7 @@ let expect_ident c =
   | Lexer.Ident s ->
       advance c;
       s
-  | tok ->
-      fail t.Lexer.line "expected identifier but found %s"
-        (Lexer.token_to_string tok)
+  | tok -> fail t "expected identifier but found %s" (Lexer.token_to_string tok)
 
 (* A C-ish type: one or more identifiers followed by optional stars; the
    final identifier is the declared name. *)
@@ -46,7 +52,7 @@ let parse_typed_name c =
   | name :: rev_ty when name <> "*" ->
       let ty = String.concat " " (List.rev rev_ty) in
       (ty, name)
-  | _ -> fail (peek c).Lexer.line "expected a type and a name"
+  | _ -> fail (peek c) "expected a type and a name"
 
 let parse_global_body c =
   expect c Lexer.Lbrace;
@@ -60,18 +66,18 @@ let parse_global_body c =
         advance c;
         expect c Lexer.Equals;
         let value = expect_ident c in
-        let kv = { Ast.gk_key = key; gk_value = value; gk_line = t.Lexer.line } in
+        let kv = { Ast.gk_key = key; gk_value = value; gk_pos = pos_of t } in
         (match (peek c).Lexer.tok with
         | Lexer.Comma -> advance c
         | _ -> ());
         kvs (kv :: acc)
-    | tok -> fail t.Lexer.line "unexpected %s in service_global_info" (Lexer.token_to_string tok)
+    | tok -> fail t "unexpected %s in service_global_info" (Lexer.token_to_string tok)
   in
   let body = kvs [] in
   expect c Lexer.Semicolon;
   body
 
-let parse_sm c keyword line =
+let parse_sm c keyword kw_tok =
   expect c Lexer.Lparen;
   let a = expect_ident c in
   let decl =
@@ -85,11 +91,11 @@ let parse_sm c keyword line =
     | "sm_block" -> Ast.Block a
     | "sm_block_hold" -> Ast.Block_hold a
     | "sm_wakeup" -> Ast.Wakeup a
-    | kw -> fail line "unknown state-machine declaration %s" kw
+    | kw -> fail kw_tok "unknown state-machine declaration %s" kw
   in
   expect c Lexer.Rparen;
   expect c Lexer.Semicolon;
-  (decl, line)
+  (decl, pos_of kw_tok)
 
 (* A bare type in an annotation: identifiers and stars up to the comma. *)
 let parse_inner_type c =
@@ -116,25 +122,26 @@ let parse_retval_annot c kind =
 
 let parse_param c =
   let t = peek c in
+  let pos = pos_of t in
   match t.Lexer.tok with
   | Lexer.Ident "desc" ->
       advance c;
       expect c Lexer.Lparen;
       let ty, name = parse_typed_name c in
       expect c Lexer.Rparen;
-      { Ast.pa_attr = Ast.ADesc; pa_type = ty; pa_name = name }
+      { Ast.pa_attr = Ast.ADesc; pa_type = ty; pa_name = name; pa_pos = pos }
   | Lexer.Ident "parent_desc" ->
       advance c;
       expect c Lexer.Lparen;
       let ty, name = parse_typed_name c in
       expect c Lexer.Rparen;
-      { Ast.pa_attr = Ast.AParentDesc; pa_type = ty; pa_name = name }
+      { Ast.pa_attr = Ast.AParentDesc; pa_type = ty; pa_name = name; pa_pos = pos }
   | Lexer.Ident "desc_ns" ->
       advance c;
       expect c Lexer.Lparen;
       let ty, name = parse_typed_name c in
       expect c Lexer.Rparen;
-      { Ast.pa_attr = Ast.ADescNs; pa_type = ty; pa_name = name }
+      { Ast.pa_attr = Ast.ADescNs; pa_type = ty; pa_name = name; pa_pos = pos }
   | Lexer.Ident "desc_data" -> (
       advance c;
       expect c Lexer.Lparen;
@@ -145,15 +152,20 @@ let parse_param c =
           let ty, name = parse_typed_name c in
           expect c Lexer.Rparen;
           expect c Lexer.Rparen;
-          { Ast.pa_attr = Ast.ADescDataParent; pa_type = ty; pa_name = name }
+          {
+            Ast.pa_attr = Ast.ADescDataParent;
+            pa_type = ty;
+            pa_name = name;
+            pa_pos = pos;
+          }
       | _ ->
           let ty, name = parse_typed_name c in
           expect c Lexer.Rparen;
-          { Ast.pa_attr = Ast.ADescData; pa_type = ty; pa_name = name })
+          { Ast.pa_attr = Ast.ADescData; pa_type = ty; pa_name = name; pa_pos = pos })
   | Lexer.Ident _ ->
       let ty, name = parse_typed_name c in
-      { Ast.pa_attr = Ast.APlain; pa_type = ty; pa_name = name }
-  | tok -> fail t.Lexer.line "unexpected %s in parameter list" (Lexer.token_to_string tok)
+      { Ast.pa_attr = Ast.APlain; pa_type = ty; pa_name = name; pa_pos = pos }
+  | tok -> fail t "unexpected %s in parameter list" (Lexer.token_to_string tok)
 
 let parse_params c =
   match (peek c).Lexer.tok with
@@ -172,7 +184,7 @@ let parse_params c =
 (* A function declaration: an optional return type, the function name,
    then the parameter list. The tokens up to the opening parenthesis are
    type parts; the last identifier among them is the function name. *)
-let parse_fn c retval line =
+let parse_fn c retval start_tok =
   let rec collect acc =
     let t = peek c in
     match t.Lexer.tok with
@@ -183,7 +195,7 @@ let parse_fn c retval line =
         advance c;
         collect ("*" :: acc)
     | Lexer.Lparen -> List.rev acc
-    | tok -> fail t.Lexer.line "unexpected %s in declaration" (Lexer.token_to_string tok)
+    | tok -> fail t "unexpected %s in declaration" (Lexer.token_to_string tok)
   in
   let parts = collect [] in
   let name, ret =
@@ -192,7 +204,7 @@ let parse_fn c retval line =
         ( name,
           if rev_ty = [] then None
           else Some (String.concat " " (List.rev rev_ty)) )
-    | _ -> fail line "expected a function name"
+    | _ -> fail start_tok "expected a function name"
   in
   expect c Lexer.Lparen;
   let params = parse_params c in
@@ -203,7 +215,7 @@ let parse_fn c retval line =
     fd_name = name;
     fd_params = params;
     fd_retval = retval;
-    fd_line = line;
+    fd_pos = pos_of start_tok;
   }
 
 let parse src =
@@ -213,7 +225,7 @@ let parse src =
     match t.Lexer.tok with
     | Lexer.Eof ->
         (match pending_retval with
-        | Some _ -> fail t.Lexer.line "dangling desc_data_retval annotation"
+        | Some _ -> fail t "dangling desc_data_retval annotation"
         | None -> ());
         List.rev acc
     | Lexer.Ident "service_global_info" ->
@@ -225,8 +237,8 @@ let parse src =
         (("sm_transition" | "sm_creation" | "sm_terminal" | "sm_block"
          | "sm_block_hold" | "sm_wakeup") as kw) ->
         advance c;
-        let decl, line = parse_sm c kw t.Lexer.line in
-        items (Ast.Sm (decl, line) :: acc) pending_retval
+        let decl, pos = parse_sm c kw t in
+        items (Ast.Sm (decl, pos) :: acc) pending_retval
     | Lexer.Ident "desc_data_retval" ->
         advance c;
         let annot = parse_retval_annot c `Set in
@@ -236,9 +248,9 @@ let parse src =
         let annot = parse_retval_annot c `Accum in
         items acc (Some annot)
     | Lexer.Ident _ ->
-        let fn = parse_fn c pending_retval t.Lexer.line in
+        let fn = parse_fn c pending_retval t in
         items (Ast.Fn fn :: acc) None
-    | tok -> fail t.Lexer.line "unexpected %s at top level" (Lexer.token_to_string tok)
+    | tok -> fail t "unexpected %s at top level" (Lexer.token_to_string tok)
   in
   items [] None
 

@@ -1,13 +1,13 @@
-(** Recursive-descent parser for SuperGlue specifications.
+(** Recursive-descent parser for the SuperGlue IDL. Produces an {!Ast.t}
+    with source positions threaded onto every declaration so downstream
+    diagnostics can print [file:line:col] spans. *)
 
-    The paper's front end reuses pycparser on a preprocessed header; this
-    sealed environment has no C parser, so the grammar of Table I/Fig 3
-    is parsed directly (see DESIGN.md §5). *)
-
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
 val parse : string -> Ast.t
-(** Parse a specification from source text. Raises {!Parse_error} or
-    {!Lexer.Lex_error}. *)
+(** Parse an interface specification from a string.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on illegal characters *)
 
 val parse_file : string -> Ast.t
+(** [parse_file path] reads and parses the file at [path]. *)

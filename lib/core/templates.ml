@@ -462,6 +462,16 @@ let catalogue =
     nested "client/track/create/id-from-desc" Client create_with_desc_id;
     nested "client/track/create/id-from-retval" Client create_with_ret_id;
     nested "client/track/create/namespaced" Client has_ns;
+    nested "client/track/create/meta-capture" Client (fun ir ->
+        List.exists
+          (fun f ->
+            List.exists
+              (fun p ->
+                match p.Ast.pa_attr with
+                | Ast.ADescData | Ast.ADescDataParent | Ast.ADescNs -> true
+                | Ast.APlain | Ast.ADesc | Ast.AParentDesc -> false)
+              f.Ir.f_params)
+          (creates ir));
     nested "client/track/create/parent-local" Client (fun ir ->
         (model ir).Model.parent = Model.Parent);
     nested "client/track/create/parent-cross" Client xcparent;

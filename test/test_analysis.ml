@@ -1,0 +1,342 @@
+(* Validation of the sg_analysis recovery-soundness analyzer.
+
+   Four layers: (1) golden snapshot — the six builtin interfaces and
+   the idl/*.sgidl sources lint clean apart from four known SG020
+   state-class-collapsing notes; (2) the cross-interface SG012 pass on
+   the real system wiring and on injected violating configurations;
+   (3) the seeded-mutant corpus — every analyzer rule catches at least
+   one mutant, measured against the pristine baseline; (4) the JSON
+   report round-trips, and a fixture corpus of small specifications
+   each carrying an "expect:" header triggers the rule it names. *)
+
+module Compiler = Superglue.Compiler
+module Diag = Superglue.Diag
+module Analysis = Sg_analysis.Analysis
+module Mutate = Sg_analysis.Mutate
+module Json = Sg_analysis.Json
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let pristine () = List.map Compiler.builtin Compiler.builtin_names
+
+let count_code code ds =
+  List.length (List.filter (fun d -> d.Diag.d_code = code) ds)
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diag.d_code) ds)
+
+(* ---------- golden snapshot of the pristine system ---------- *)
+
+(* The only findings on the six shipped interfaces are the state-class
+   collapsing notes for the four functions with untracked plain
+   arguments (paper Fig 3: evt_trigger/evt_free; fs: tread/twrite). *)
+let expected_infos =
+  [
+    ("evt", 30, "evt_trigger");
+    ("evt", 31, "evt_free");
+    ("fs", 42, "tread");
+    ("fs", 44, "twrite");
+  ]
+
+let test_pristine_builtins () =
+  let ds = Analysis.lint (pristine ()) in
+  Alcotest.(check int) "no errors" 0 (Diag.count Diag.Error ds);
+  Alcotest.(check int) "no warnings" 0 (Diag.count Diag.Warning ds);
+  Alcotest.(check int) "four infos" 4 (Diag.count Diag.Info ds);
+  List.iter2
+    (fun d (file, line, fn) ->
+      Alcotest.(check string) "code" "SG020" d.Diag.d_code;
+      (match d.Diag.d_span with
+      | Some sp ->
+          Alcotest.(check string) "file" file sp.Diag.sp_file;
+          Alcotest.(check int) "line" line sp.Diag.sp_line;
+          Alcotest.(check int) "col" 1 sp.Diag.sp_col
+      | None -> Alcotest.failf "SG020 for %s lost its span" fn);
+      if not (contains d.Diag.d_message fn) then
+        Alcotest.failf "info %s does not mention %s" d.Diag.d_message fn)
+    ds expected_infos
+
+let test_pristine_analyze_empty () =
+  (* analyze proper (without the compilation warnings) finds nothing *)
+  List.iter
+    (fun a ->
+      Alcotest.(check (list string))
+        (a.Compiler.a_name ^ " analyze")
+        [] (List.map Diag.to_string (Analysis.analyze a)))
+    (pristine ())
+
+(* dune runtest runs with cwd = test/; fall back to repo-root-relative
+   paths so `dune exec test/test_analysis.exe` works too *)
+let locate p alt = if Sys.file_exists p then p else alt
+
+let idl_files =
+  [ "evt"; "fs"; "lock"; "mm"; "sched"; "timer" ]
+  |> List.map (fun n ->
+         locate
+           (Printf.sprintf "../idl/%s.sgidl" n)
+           (Printf.sprintf "idl/%s.sgidl" n))
+
+let test_idl_files_lint_clean () =
+  let arts = List.map Compiler.compile_file idl_files in
+  let ds = Analysis.lint arts in
+  Alcotest.(check int) "no errors" 0 (Diag.count Diag.Error ds);
+  Alcotest.(check int) "no warnings" 0 (Diag.count Diag.Warning ds);
+  Alcotest.(check int) "four infos" 4 (Diag.count Diag.Info ds)
+
+(* ---------- SG012: the cross-interface pass ---------- *)
+
+let test_system_pristine () =
+  Alcotest.(check (list string))
+    "real wiring is sound" []
+    (List.map Diag.to_string (Analysis.analyze_system (pristine ())))
+
+let test_system_missing_wakeup () =
+  let ds =
+    Analysis.analyze_system
+      ~wakeup_deps:[ ("lock", "sched", "no_such_fn") ]
+      ~boot_order:[ "sched"; "lock" ]
+      (pristine ())
+  in
+  Alcotest.(check int) "one finding" 1 (List.length ds);
+  let d = List.hd ds in
+  Alcotest.(check string) "code" "SG012" d.Diag.d_code;
+  Alcotest.(check bool) "error" true (d.Diag.d_severity = Diag.Error);
+  Alcotest.(check bool) "names fn" true (contains d.Diag.d_message "no_such_fn")
+
+let test_system_boot_order () =
+  (* sched_wakeup is a real wakeup, but here the dependent boots first *)
+  let ds =
+    Analysis.analyze_system
+      ~wakeup_deps:[ ("lock", "sched", "sched_wakeup") ]
+      ~boot_order:[ "lock"; "sched" ]
+      (pristine ())
+  in
+  Alcotest.(check int) "one finding" 1 (List.length ds);
+  let d = List.hd ds in
+  Alcotest.(check string) "code" "SG012" d.Diag.d_code;
+  Alcotest.(check bool) "mentions boot" true
+    (contains d.Diag.d_message "boots before")
+
+let test_system_skips_absent () =
+  Alcotest.(check (list string))
+    "deps on absent interfaces are skipped" []
+    (List.map Diag.to_string
+       (Analysis.analyze_system
+          ~wakeup_deps:[ ("ghost", "sched", "sched_wakeup") ]
+          [ Compiler.builtin "sched" ]))
+
+(* ---------- the mutation campaign ---------- *)
+
+(* A mutant kills a rule when lint over the six interfaces (with the
+   mutated source substituted for its interface) reports strictly more
+   findings of that rule's code than the pristine baseline does. A
+   mutant the compiler itself rejects counts as a compile-stage
+   detection (SG900-SG902). *)
+let run_campaign () =
+  let baseline = Analysis.lint (pristine ()) in
+  let kills = Hashtbl.create 16 in
+  let record code id =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt kills code) in
+    Hashtbl.replace kills code (id :: prev)
+  in
+  let mutants = Mutate.builtin_mutants () in
+  List.iter
+    (fun m ->
+      match Compiler.compile ~name:m.Mutate.m_iface m.Mutate.m_source with
+      | exception Compiler.Compile_error ds ->
+          List.iter (fun d -> record d.Diag.d_code m.Mutate.m_id) ds;
+          record "compile-error" m.Mutate.m_id
+      | a ->
+          let arts =
+            List.map
+              (fun n -> if n = m.Mutate.m_iface then a else Compiler.builtin n)
+              Compiler.builtin_names
+          in
+          let ds = Analysis.lint arts in
+          List.iter
+            (fun code ->
+              if count_code code ds > count_code code baseline then
+                record code m.Mutate.m_id)
+            (codes ds))
+    mutants;
+  (mutants, kills)
+
+let campaign = lazy (run_campaign ())
+
+let test_corpus_size () =
+  let mutants, _ = Lazy.force campaign in
+  if List.length mutants < 30 then
+    Alcotest.failf "corpus too small: %d mutants" (List.length mutants);
+  let ids = List.map (fun m -> m.Mutate.m_id) mutants in
+  Alcotest.(check int)
+    "mutant ids are unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_every_rule_killed () =
+  let _, kills = Lazy.force campaign in
+  let must_kill =
+    [
+      "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
+      "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG020"; "compile-error";
+    ]
+  in
+  List.iter
+    (fun code ->
+      match Hashtbl.find_opt kills code with
+      | Some (_ :: _) -> ()
+      | _ -> Alcotest.failf "no mutant killed by %s" code)
+    must_kill
+
+let test_mutants_never_crash () =
+  (* already exercised by run_campaign, but assert the totality claim
+     explicitly: analyze must not raise on any compiling mutant *)
+  List.iter
+    (fun m ->
+      match Compiler.compile ~name:m.Mutate.m_iface m.Mutate.m_source with
+      | exception Compiler.Compile_error _ -> ()
+      | a ->
+          let ds = Analysis.analyze a in
+          ignore (List.map Diag.to_string ds))
+    (Mutate.builtin_mutants ())
+
+(* ---------- the JSON report ---------- *)
+
+let test_json_roundtrip () =
+  let ds =
+    Analysis.lint (pristine ())
+    @ Analysis.analyze_system
+        ~wakeup_deps:[ ("lock", "sched", "no_such_fn") ]
+        ~boot_order:[ "sched"; "lock" ]
+        (pristine ())
+  in
+  let j = Analysis.report_to_json ds in
+  let parsed = Json.parse (Json.to_string j) in
+  (match Json.member "version" parsed with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "version field lost");
+  (match Json.member "errors" parsed with
+  | Some (Json.Int 1) -> ()
+  | v ->
+      Alcotest.failf "errors count wrong: %s"
+        (match v with Some j -> Json.to_string j | None -> "absent"));
+  match Analysis.report_of_json parsed with
+  | None -> Alcotest.fail "report_of_json failed"
+  | Some ds' ->
+      Alcotest.(check int) "length" (List.length ds) (List.length ds');
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "diag" (Diag.to_string a) (Diag.to_string b);
+          Alcotest.(check bool) "span" true (a.Diag.d_span = b.Diag.d_span))
+        ds ds'
+
+let test_json_parse_escapes () =
+  let j =
+    Json.Obj [ ("m", Json.Str "quote \" slash \\ newline \n tab \t") ]
+  in
+  Alcotest.(check bool) "escape roundtrip" true
+    (Json.parse (Json.to_string j) = j)
+
+(* ---------- the rule table ---------- *)
+
+let test_rule_table () =
+  let cs = List.map (fun (c, _, _) -> c) Analysis.rules in
+  Alcotest.(check int) "codes unique" (List.length cs)
+    (List.length (List.sort_uniq compare cs));
+  Alcotest.(check bool) "SG007 documented" true
+    (Analysis.rule_doc "SG007" <> None);
+  Alcotest.(check (option string)) "unknown code" None
+    (Analysis.rule_doc "SG999")
+
+(* ---------- the fixture corpus ---------- *)
+
+(* Each fixture's first line is "/* expect: <code> */": either a rule
+   code the analyzer (or compiler) must report for that file, or
+   "clean" meaning the file lints with no findings at all. *)
+let fixture_expectation path =
+  let ic = open_in path in
+  let line =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+  in
+  match String.index_opt line ':' with
+  | Some i when contains line "expect" ->
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let rest =
+        match String.index_opt rest '*' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      String.trim rest
+  | _ -> Alcotest.failf "%s has no expect: header" path
+
+let test_fixtures () =
+  let dir = locate "fixtures" "test/fixtures" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sgidl")
+    |> List.sort compare
+  in
+  if List.length files < 12 then
+    Alcotest.failf "fixture corpus too small: %d files" (List.length files);
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let expect = fixture_expectation path in
+      match Compiler.compile_file path with
+      | exception Compiler.Compile_error ds ->
+          let got = codes ds in
+          if not (List.mem expect got) then
+            Alcotest.failf "%s: expected %s, compile failed with %s" f expect
+              (String.concat " " got)
+      | a -> (
+          let ds = Analysis.lint [ a ] in
+          match expect with
+          | "clean" ->
+              Alcotest.(check (list string))
+                (f ^ " clean") []
+                (List.map Diag.to_string ds)
+          | code ->
+              if count_code code ds = 0 then
+                Alcotest.failf "%s: expected %s, got [%s]" f code
+                  (String.concat "; " (List.map Diag.to_string ds))))
+    files
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "pristine",
+        [
+          Alcotest.test_case "builtins golden snapshot" `Quick
+            test_pristine_builtins;
+          Alcotest.test_case "analyze finds nothing" `Quick
+            test_pristine_analyze_empty;
+          Alcotest.test_case "idl files lint clean" `Quick
+            test_idl_files_lint_clean;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "pristine wiring" `Quick test_system_pristine;
+          Alcotest.test_case "missing wakeup" `Quick test_system_missing_wakeup;
+          Alcotest.test_case "boot order" `Quick test_system_boot_order;
+          Alcotest.test_case "absent interfaces skipped" `Quick
+            test_system_skips_absent;
+        ] );
+      ( "mutants",
+        [
+          Alcotest.test_case "corpus size" `Quick test_corpus_size;
+          Alcotest.test_case "every rule killed" `Quick test_every_rule_killed;
+          Alcotest.test_case "analyzer total on corpus" `Quick
+            test_mutants_never_crash;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "string escapes" `Quick test_json_parse_escapes;
+        ] );
+      ( "rules",
+        [ Alcotest.test_case "table is consistent" `Quick test_rule_table ] );
+      ( "fixtures",
+        [ Alcotest.test_case "expectations hold" `Quick test_fixtures ] );
+    ]

@@ -10,6 +10,8 @@ module Compiler = Superglue.Compiler
 module Codegen = Superglue.Codegen
 module Machine = Superglue.Machine
 module Ir = Superglue.Ir
+module Diag = Superglue.Diag
+module Analysis = Sg_analysis.Analysis
 module Rng = Sg_util.Rng
 
 (* Build a random chain-shaped interface: one creation function, a few
@@ -89,9 +91,14 @@ let prop_random_specs_compile =
               find 0)
             ir.Ir.ir_funcs)
       (* code is generated and contains both configs *)
+      && (let code = Codegen.emit a in
+          Codegen.loc code > 20)
+      (* the static analyzer is total on every compiling artifact: random
+         shortcut transitions may legitimately trip SG007, so we assert
+         no crash, not no findings *)
       &&
-      let code = Codegen.emit a in
-      Codegen.loc code > 20)
+      let ds = Analysis.lint [ a ] in
+      List.for_all (fun d -> String.length (Diag.to_string d) > 0) ds)
 
 let prop_mangled_specs_never_crash =
   (* randomly truncating or corrupting a valid spec must produce a clean
@@ -103,7 +110,10 @@ let prop_mangled_specs_never_crash =
       let cut = min cut (String.length src - 1) in
       let mangled = String.sub src 0 (String.length src - 1 - cut) in
       match Compiler.compile ~name:"mangled" mangled with
-      | _ -> true (* a prefix may still parse: fine *)
+      | a ->
+          (* a prefix may still parse: the analyzer must not crash on it *)
+          let _ = Analysis.analyze a in
+          true
       | exception Compiler.Compile_error _ -> true
       | exception _ -> false)
 
@@ -112,7 +122,9 @@ let prop_random_binary_never_crashes_lexer =
     QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
     (fun junk ->
       match Compiler.compile ~name:"junk" junk with
-      | _ -> true
+      | a ->
+          let _ = Analysis.analyze a in
+          true
       | exception Compiler.Compile_error _ -> true
       | exception _ -> false)
 

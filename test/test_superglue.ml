@@ -34,17 +34,32 @@ let test_lexer_basic () =
 
 let test_lexer_lines () =
   let toks = Lexer.tokenize "a\nb\n  c" in
-  let line_of name =
+  let pos_of name =
     List.find_map
-      (fun t -> if t.Lexer.tok = Lexer.Ident name then Some t.Lexer.line else None)
+      (fun t ->
+        if t.Lexer.tok = Lexer.Ident name then Some (t.Lexer.line, t.Lexer.col)
+        else None)
       toks
   in
-  Alcotest.(check (option int)) "line of c" (Some 3) (line_of "c")
+  Alcotest.(check (option (pair int int))) "position of c" (Some (3, 3))
+    (pos_of "c")
+
+let test_lexer_columns_survive_comments () =
+  (* comments are blanked, not removed, so columns stay true *)
+  let toks = Lexer.tokenize "/* pad */ x" in
+  let col =
+    List.find_map
+      (fun t -> if t.Lexer.tok = Lexer.Ident "x" then Some t.Lexer.col else None)
+      toks
+  in
+  Alcotest.(check (option int)) "col of x" (Some 11) col
 
 let test_lexer_error () =
   match Lexer.tokenize "foo $ bar" with
   | _ -> Alcotest.fail "expected lexer error"
-  | exception Lexer.Lex_error { line = 1; _ } -> ()
+  | exception Lexer.Lex_error { line = 1; col = 5; _ } -> ()
+  | exception Lexer.Lex_error { line; col; _ } ->
+      Alcotest.failf "error at %d:%d, expected 1:5" line col
 
 (* --- parser --- *)
 
@@ -118,8 +133,9 @@ let test_ir_rejects_undeclared () =
       "service_global_info = { desc_block = false };\nsm_creation(nope);\nlong f(desc(long x));"
   with
   | _ -> Alcotest.fail "expected semantic error"
-  | exception Compiler.Compile_error msg ->
-      Alcotest.(check bool) "mentions nope" true (contains msg "nope")
+  | exception Compiler.Compile_error ds ->
+      Alcotest.(check bool) "mentions nope" true
+        (contains (Compiler.error_to_string ds) "nope")
 
 let test_ir_rejects_block_mismatch () =
   match
@@ -320,6 +336,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_lexer_basic;
           Alcotest.test_case "line numbers" `Quick test_lexer_lines;
+          Alcotest.test_case "columns survive comments" `Quick
+            test_lexer_columns_survive_comments;
           Alcotest.test_case "illegal char" `Quick test_lexer_error;
         ] );
       ( "parser",

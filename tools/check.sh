@@ -34,4 +34,19 @@ echo "== perf smoke: sgtrace check passes on a -j 2 campaign stream"
     --trace "$tmpdir/trace.jsonl" > /dev/null 2>&1
 ./_build/default/bin/sgtrace.exe check --incomplete "$tmpdir/trace.jsonl" > /dev/null
 
+echo "== lint gate: sgc lint over idl/ and the builtins"
+# exits 1 on any error-severity finding, 2 on compile errors (set -e)
+./_build/default/bin/sgc.exe lint --builtins idl/*.sgidl > /dev/null
+./_build/default/bin/sgc.exe lint --json --builtins idl/*.sgidl \
+    > "$tmpdir/lint.json"
+python3 - "$tmpdir/lint.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["version"] == 1
+assert r["errors"] == 0 and r["warnings"] == 0
+for d in r["diagnostics"]:
+    assert d["code"].startswith("SG") and d["severity"] == "info"
+    assert d["file"] and d["line"] >= 1 and d["col"] >= 1
+EOF
+
 echo "== tier-1 gate OK"
