@@ -381,7 +381,7 @@ let campaign_perf () =
           row :=
             Some
               (Sg_swifi.Pardriver.run ~jobs ~mode ~iface ~injections
-                 ~collect_events:false
+                 ~collect_events:false ~episodes:true
                  ~on_chunk:(fun ~seed:_ _ -> incr chunks)
                  ()))
     in
@@ -398,11 +398,25 @@ let campaign_perf () =
         (float_of_int chunks /. s)
         (base_s /. s))
     results;
-  (* determinism spot-check: all rows must agree with -j 1 *)
+  (* determinism spot-check: all rows must agree with -j 1 — including
+     the stitched episode lists and the merged first-access histogram *)
   let rows = List.map (fun (_, (row, _, _)) -> row) results in
   List.iter
     (fun r -> assert (r = List.hd rows))
     rows;
+  (let eps = (List.hd rows).Sg_swifi.Campaign.r_episodes in
+   let s = Sg_obs.Profile.summarize eps in
+   Printf.printf "episodes: %d stitched, %d recovered to first access\n"
+     s.Sg_obs.Profile.ps_episodes s.Sg_obs.Profile.ps_complete;
+   match Sg_obs.Profile.mean_phases_ns eps with
+   | None -> ()
+   | Some p ->
+       Printf.printf
+         "mean phases: detect->reboot %d ns, reboot->walks %d ns, \
+          walks->access %d ns\n"
+         p.Sg_obs.Profile.ph_detect_reboot_ns
+         p.Sg_obs.Profile.ph_reboot_walks_ns
+         p.Sg_obs.Profile.ph_walks_access_ns);
   let path = Option.value !out_path ~default:"BENCH_campaign.json" in
   write_json path
     ([

@@ -104,11 +104,24 @@ let make_trace_writer path =
   in
   (on_chunk, finish)
 
-let run mode iface injections seed cmon jobs trace =
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Stitch each chunk's event stream into recovery episodes and \
+           print the episode profile (phase breakdown, critical paths, \
+           per-component time attribution) after the campaign row. \
+           Deterministic across -j. Requires --iface.")
+
+let run mode iface injections seed cmon jobs trace profile =
   let cmon_period_ns = if cmon then Some 5_000 else None in
-  match (trace, iface) with
-  | Some _, None ->
+  match (trace, profile, iface) with
+  | Some _, _, None ->
       prerr_endline "superglue-campaign: --trace requires --iface";
+      exit 2
+  | _, true, None ->
+      prerr_endline "superglue-campaign: --profile requires --iface";
       exit 2
   | _ -> (
       let writer = Option.map make_trace_writer trace in
@@ -117,9 +130,11 @@ let run mode iface injections seed cmon jobs trace =
       | Some iface ->
           let row =
             Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ?on_chunk ~jobs ~mode
-              ~iface ~injections ()
+              ~iface ~injections ~episodes:profile ()
           in
           Format.printf "%a@." Campaign.pp_row row;
+          if profile then
+            Format.printf "%a@?" Sg_obs.Profile.pp row.Campaign.r_episodes;
           Option.iter (fun (_, finish) -> finish ()) writer
       | None ->
           if cmon then
@@ -137,7 +152,7 @@ let () =
   let term =
     Term.(
       const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg
-      $ jobs_arg $ trace_arg)
+      $ jobs_arg $ trace_arg $ profile_arg)
   in
   let info =
     Cmd.info "superglue-campaign"

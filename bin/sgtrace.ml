@@ -6,7 +6,10 @@
    sgtrace check    validate a JSON-lines stream against the recovery
                     invariants; non-zero exit on any violation
    sgtrace summary  replay a JSON-lines stream through the metrics fold
-                    and print the summary *)
+                    and print the summary
+   sgtrace profile  stitch the stream into recovery episodes and print
+                    per-episode timelines, critical paths and the
+                    per-component attribution table (or --json) *)
 
 open Cmdliner
 module Sim = Sg_os.Sim
@@ -190,6 +193,28 @@ let summary file =
       Format.printf "%a@?" Sg_obs.Metrics.pp_summary m;
       0
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a versioned machine-readable profile instead of text.")
+
+let profile file json =
+  match load_events file with
+  | exception Sg_obs.Jsonl.Parse_error msg ->
+      Printf.eprintf "sgtrace: parse error: %s\n" msg;
+      2
+  | exception Sys_error msg ->
+      Printf.eprintf "sgtrace: %s\n" msg;
+      2
+  | events ->
+      let eps = Sg_obs.Episode.of_events events in
+      if json then
+        let source = match file with Some p -> p | None -> "<stdin>" in
+        print_endline (Sg_obs.Profile.to_json ~source eps)
+      else Format.printf "%a@?" Sg_obs.Profile.pp eps;
+      0
+
 let dump_cmd =
   let term =
     Term.(
@@ -217,9 +242,21 @@ let summary_cmd =
        ~doc:"Fold an event stream through the metrics and print the totals.")
     term
 
+let profile_cmd =
+  let term = Term.(const profile $ file_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Stitch an event stream into recovery episodes; print per-episode \
+          phase breakdowns, ASCII timelines, critical paths and the \
+          per-component time attribution (or a versioned JSON profile with \
+          $(b,--json)).")
+    term
+
 let () =
   let info =
     Cmd.info "sgtrace"
-      ~doc:"Structured recovery-trace tooling (dump, check, summary)"
+      ~doc:"Structured recovery-trace tooling (dump, check, summary, profile)"
   in
-  exit (Cmd.eval' (Cmd.group info [ dump_cmd; check_cmd; summary_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ dump_cmd; check_cmd; summary_cmd; profile_cmd ]))

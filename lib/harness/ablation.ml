@@ -9,11 +9,14 @@ type row = {
   a_mode : string;
   a_first_access_us : float;
   a_walks_at_access : int;
+  a_phases : Sg_obs.Profile.phases option;
 }
 
 let measure ~mode_name ~mode ~descriptors =
   let sys = Sysbuild.build mode in
   let sim = sys.Sysbuild.sys_sim in
+  let epb = Sg_obs.Episode.builder () in
+  Sg_obs.Sink.subscribe (Sim.obs sim) (Sg_obs.Episode.feed epb);
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"fs" in
   let latency = ref 0.0 in
@@ -52,6 +55,7 @@ let measure ~mode_name ~mode ~descriptors =
     a_mode = mode_name;
     a_first_access_us = !latency;
     a_walks_at_access = !walks;
+    a_phases = Sg_obs.Profile.mean_phases_ns (Sg_obs.Episode.finish epb);
   }
 
 let run ?(descriptors = 40) () =
@@ -66,14 +70,27 @@ let print () =
     "Ablation - recovery timing (paper SectionIII-C): latency of the first\n\
      post-fault access while the client tracks many descriptors";
   Table.print
-    ~header:[ "Recovery mode"; "descriptors"; "first access us"; "walks charged to it" ]
+    ~header:
+      [
+        "Recovery mode"; "descriptors"; "first access us";
+        "walks charged to it"; "detect>reboot"; "reboot>walks";
+        "walks>access";
+      ]
     (List.map
        (fun r ->
+         let ph f =
+           match r.a_phases with
+           | None -> "-"
+           | Some p -> Printf.sprintf "%d ns" (f p)
+         in
          [
            r.a_mode;
            string_of_int r.a_descriptors;
            Printf.sprintf "%.2f" r.a_first_access_us;
            string_of_int r.a_walks_at_access;
+           ph (fun p -> p.Sg_obs.Profile.ph_detect_reboot_ns);
+           ph (fun p -> p.Sg_obs.Profile.ph_reboot_walks_ns);
+           ph (fun p -> p.Sg_obs.Profile.ph_walks_access_ns);
          ])
        rows);
   print_endline

@@ -15,6 +15,9 @@ type row = {
   a_first_access_us : float;
       (** virtual µs from the first post-fault access to its return *)
   a_walks_at_access : int;  (** descriptor walks performed within it *)
+  a_phases : Sg_obs.Profile.phases option;
+      (** mean recovery-phase split of the run's complete episodes;
+          [None] when the fault produced no completed episode *)
 }
 
 val run : ?descriptors:int -> unit -> row list

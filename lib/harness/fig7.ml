@@ -12,26 +12,36 @@ type row = {
   w_faults : int;
   w_reboots : int;
   w_errors : int;
+  w_phases : Sg_obs.Profile.phases option;
 }
 
 let one_run ~mode ~requests ~seed ~fault_period_ns =
   let sys = Sysbuild.build ~seed mode in
+  let sim = sys.Sysbuild.sys_sim in
+  (* stitch recovery episodes alongside the run: the subscriber only
+     observes the stream, so throughput numbers are untouched *)
+  let epb = Sg_obs.Episode.builder () in
+  Sg_obs.Sink.subscribe (Sim.obs sim) (Sg_obs.Episode.feed epb);
   let server = Server.install sys in
   let r = Abench.run ?fault_period_ns ~requests sys server in
-  (r, Sg_obs.Metrics.reboots (Sim.metrics sys.Sysbuild.sys_sim))
+  (r, Sg_obs.Metrics.reboots (Sim.metrics sim), Sg_obs.Episode.finish epb)
 
 let config ~name ~mode ~requests ~reps ~fault_period_ns =
   let runs =
     List.init reps (fun i -> one_run ~mode ~requests ~seed:(211 + i) ~fault_period_ns)
   in
-  let rps = Stats.summarize (List.map (fun (r, _) -> r.Abench.ab_rps) runs) in
+  let rps = Stats.summarize (List.map (fun (r, _, _) -> r.Abench.ab_rps) runs) in
   {
     w_config = name;
     w_rps = rps;
     w_slowdown_pct = 0.0;
-    w_faults = List.fold_left (fun a (r, _) -> a + r.Abench.ab_faults) 0 runs / reps;
-    w_reboots = List.fold_left (fun a (_, n) -> a + n) 0 runs / reps;
-    w_errors = List.fold_left (fun a (r, _) -> a + r.Abench.ab_errors) 0 runs;
+    w_faults =
+      List.fold_left (fun a (r, _, _) -> a + r.Abench.ab_faults) 0 runs / reps;
+    w_reboots = List.fold_left (fun a (_, n, _) -> a + n) 0 runs / reps;
+    w_errors = List.fold_left (fun a (r, _, _) -> a + r.Abench.ab_errors) 0 runs;
+    w_phases =
+      Sg_obs.Profile.mean_phases_ns
+        (List.concat_map (fun (_, _, eps) -> eps) runs);
   }
 
 let run ?(requests = 50_000) ?(reps = 3) ?(fault_period_ns = 250_000_000) () =
@@ -44,6 +54,7 @@ let run ?(requests = 50_000) ?(reps = 3) ?(fault_period_ns = 250_000_000) () =
       w_faults = 0;
       w_reboots = 0;
       w_errors = 0;
+      w_phases = None;
     }
   in
   let c3 = Sysbuild.Stubbed Sysbuild.c3_stubset in
@@ -81,9 +92,18 @@ let print ?requests ?reps () =
      (paper: apache 17600, base 16200, c3 14500 (-10.5%), superglue 14281\n\
      (-11.84%); with one crash per 10s the superglue slowdown was 13.6%)";
   Table.print
-    ~header:[ "Configuration"; "req/s"; "sd"; "vs base"; "faults"; "reboots"; "errors" ]
+    ~header:
+      [
+        "Configuration"; "req/s"; "sd"; "vs base"; "faults"; "reboots";
+        "errors"; "detect>reboot"; "reboot>walks"; "walks>access";
+      ]
     (List.map
        (fun r ->
+         let ph f =
+           match r.w_phases with
+           | None -> "-"
+           | Some p -> Printf.sprintf "%d ns" (f p)
+         in
          [
            r.w_config;
            Printf.sprintf "%.0f" r.w_rps.Stats.mean;
@@ -92,5 +112,8 @@ let print ?requests ?reps () =
            string_of_int r.w_faults;
            string_of_int r.w_reboots;
            string_of_int r.w_errors;
+           ph (fun p -> p.Sg_obs.Profile.ph_detect_reboot_ns);
+           ph (fun p -> p.Sg_obs.Profile.ph_reboot_walks_ns);
+           ph (fun p -> p.Sg_obs.Profile.ph_walks_access_ns);
          ])
        rows)

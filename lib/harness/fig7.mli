@@ -10,6 +10,10 @@ type row = {
   w_faults : int;
   w_reboots : int;
   w_errors : int;
+  w_phases : Sg_obs.Profile.phases option;
+      (** mean recovery-phase split over the configuration's complete
+          episodes; [None] when no fault recovered (e.g. fault-free
+          runs, or the Apache reference) *)
 }
 
 val run : ?requests:int -> ?reps:int -> ?fault_period_ns:int -> unit -> row list

@@ -57,6 +57,27 @@ let percentile t p =
     go 0 0
   end
 
+let merge dst src =
+  for i = 0 to buckets - 1 do
+    dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  (* sentinels in an empty histogram must not leak into the merge *)
+  if src.n > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let buckets_list t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        (if t.counts.(i) = 0 then acc else (i, t.counts.(i)) :: acc)
+  in
+  go (buckets - 1) []
+
 let clear t =
   Array.fill t.counts 0 buckets 0;
   t.n <- 0;

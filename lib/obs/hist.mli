@@ -17,6 +17,14 @@ val max_value : t -> int
 val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0;1]; 0 on an empty histogram. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst] without replaying events;
+    [src] is left untouched. Combining per-domain histograms from
+    [Pardriver] workers equals histogramming the concatenated samples. *)
+
+val buckets_list : t -> (int * int) list
+(** Non-empty buckets as [(index, count)], ascending by index. *)
+
 val bucket_of : int -> int
 val bucket_upper : int -> int
 val clear : t -> unit

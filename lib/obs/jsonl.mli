@@ -6,6 +6,10 @@
 
 exception Parse_error of string
 
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes), shared with
+    {!Profile}'s emitter. *)
+
 val to_string : Event.t -> string
 (** One line, no trailing newline. *)
 

@@ -29,7 +29,11 @@ type t = {
   reboot_cost_hist : Hist.t;
   (* transient state for duration tracking *)
   open_spans : (int, int) Hashtbl.t;  (* span id -> begin ns *)
-  open_walks : (int, int list ref) Hashtbl.t;  (* tid -> begin-ns stack *)
+  open_walks : (int, (int * int * int) list ref) Hashtbl.t;
+      (* tid -> (client, server, begin-ns) stack; ends are matched by
+         pair, not blind LIFO, so overlapping walks of different pairs
+         on one thread (and interrupted walks that never end) cannot
+         cross-charge durations *)
   first_access_pending : (int, int) Hashtbl.t;  (* server cid -> reboot ns *)
 }
 
@@ -113,13 +117,24 @@ let feed_raw t ~at_ns ~tid kind =
             Hashtbl.replace t.open_walks tid s;
             s
       in
-      stack := at_ns :: !stack
-  | Event.Walk_end { ok; _ } -> (
+      stack := (client, server, at_ns) :: !stack
+  | Event.Walk_end { client; server; ok } -> (
       match Hashtbl.find_opt t.open_walks tid with
-      | Some ({ contents = t0 :: rest } as stack) ->
-          stack := rest;
-          if ok then Hist.add t.walk_hist (at_ns - t0)
-      | Some _ | None -> ())
+      | Some stack -> (
+          (* pop the innermost walk of this client/server pair, leaving
+             any non-matching (still-open) walks in place *)
+          let rec split acc = function
+            | [] -> None
+            | (c, s, t0) :: rest when c = client && s = server ->
+                Some (t0, List.rev_append acc rest)
+            | w :: rest -> split (w :: acc) rest
+          in
+          match split [] !stack with
+          | Some (t0, rest) ->
+              stack := rest;
+              if ok then Hist.add t.walk_hist (at_ns - t0)
+          | None -> ())
+      | None -> ())
   | Event.Recover_begin _ | Event.Recover_end _ -> ()
   | Event.Storage_op _ -> t.storage_ops_total <- t.storage_ops_total + 1
   | Event.Inject { outcome; _ } ->

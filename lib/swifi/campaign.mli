@@ -20,6 +20,12 @@ type row = {
   r_other : int;  (** not recovered: hang or failed postconditions *)
   r_undetected : int;
   r_reboots : int;  (** micro-reboots performed across the campaign *)
+  r_first_access : Sg_obs.Hist.t;
+      (** reboot-to-first-successful-access latency distribution, merged
+          across chunks with {!Sg_obs.Hist.merge} *)
+  r_episodes : Sg_obs.Episode.t list;
+      (** stitched recovery episodes in campaign order, chunk-local
+          timestamps; empty unless the run was asked for [episodes] *)
 }
 
 val empty : string -> row
@@ -32,6 +38,7 @@ val add : row -> row -> row
 
 val run_chunk :
   ?on_event:(Sg_obs.Event.t -> unit) ->
+  ?episodes:bool ->
   mode:Sg_components.Sysbuild.mode ->
   iface:string ->
   seed:int ->
@@ -53,6 +60,7 @@ val run :
   ?chunk_iters:int ->
   ?cmon_period_ns:int ->
   ?on_event:(Sg_obs.Event.t -> unit) ->
+  ?episodes:bool ->
   mode:Sg_components.Sysbuild.mode ->
   iface:string ->
   injections:int ->
@@ -64,7 +72,10 @@ val run :
     a budget overrun plus one monitor period and recovered like other
     fail-stop faults, emptying the "other" column. [on_event] is
     subscribed to every chunk simulator's observability sink, in run
-    order — the full structured event stream of the campaign. *)
+    order — the full structured event stream of the campaign. With
+    [episodes:true] each chunk additionally stitches its stream into
+    recovery episodes ({!Sg_obs.Episode}), collected into
+    [r_episodes]. *)
 
 val activation_ratio : row -> float
 (** |F_a| / |F_a ∪ F_u| — the fraction of injected faults activated. *)

@@ -30,24 +30,25 @@ type chunk_result = {
   cr_events : Sg_obs.Event.t list;  (* in order; empty unless collecting *)
 }
 
-let run_one ~collect ~mode ~iface ~period_ns ~chunk_iters ~cmon_period_ns
-    ~chunk_seed ~budget =
+let run_one ~collect ~episodes ~mode ~iface ~period_ns ~chunk_iters
+    ~cmon_period_ns ~chunk_seed ~budget =
   let events = ref [] in
   let on_event = if collect then Some (fun e -> events := e :: !events) else None in
   let injected, row =
-    Campaign.run_chunk ?on_event ~mode ~iface ~seed:chunk_seed ~period_ns
-      ~iters:chunk_iters ~budget ~cmon_period_ns ()
+    Campaign.run_chunk ?on_event ~episodes ~mode ~iface ~seed:chunk_seed
+      ~period_ns ~iters:chunk_iters ~budget ~cmon_period_ns ()
   in
   { cr_injected = injected; cr_row = row; cr_events = List.rev !events }
 
 let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
-    ?(collect_events = true) ?on_chunk ~jobs ~mode ~iface ~injections () =
+    ?(collect_events = true) ?(episodes = false) ?on_chunk ~jobs ~mode ~iface
+    ~injections () =
   let jobs = max 1 jobs in
   let collect = collect_events && on_chunk <> None in
   let deliver chunk_seed events =
     match on_chunk with Some f -> f ~seed:chunk_seed events | None -> ()
   in
-  let run_one = run_one ~collect ~mode ~iface ~period_ns ~chunk_iters
+  let run_one = run_one ~collect ~episodes ~mode ~iface ~period_ns ~chunk_iters
       ~cmon_period_ns in
   if jobs = 1 then begin
     (* plain sequential loop — same seeds, same budgets, same arithmetic

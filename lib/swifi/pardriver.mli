@@ -19,7 +19,12 @@
     [bin/campaign.ml]). Collection is only enabled when [on_chunk] is
     given; pass [collect_events:false] to keep the callback (e.g. to
     count chunks) while skipping collection — the event lists are then
-    empty. *)
+    empty.
+
+    [episodes:true] turns on per-chunk recovery-episode stitching (see
+    {!Campaign.run}); merged episode lists are deterministic across
+    [jobs] because discarded speculative chunks also discard their
+    episodes. *)
 
 val run :
   ?seed:int ->
@@ -27,6 +32,7 @@ val run :
   ?chunk_iters:int ->
   ?cmon_period_ns:int ->
   ?collect_events:bool ->
+  ?episodes:bool ->
   ?on_chunk:(seed:int -> Sg_obs.Event.t list -> unit) ->
   jobs:int ->
   mode:Sg_components.Sysbuild.mode ->

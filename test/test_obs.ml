@@ -9,6 +9,8 @@ module Hist = Sg_obs.Hist
 module Jsonl = Sg_obs.Jsonl
 module Check = Sg_obs.Check
 module Metrics = Sg_obs.Metrics
+module Episode = Sg_obs.Episode
+module Profile = Sg_obs.Profile
 
 (* hand-build a stream: (at_ns, tid, kind) triples, seq auto-assigned *)
 let stream l =
@@ -68,6 +70,51 @@ let test_sink_ring () =
   Alcotest.(check int) "oldest surviving entry" 89
     (List.nth ring (Sink.ring_capacity - 1)).E.at_ns
 
+let test_sink_ring_exact_capacity () =
+  (* exactly ring_capacity emissions: nothing may be pruned away, and
+     the ring must hold every event in newest-first order *)
+  let sink = Sink.create ~retention:Sink.Nothing () in
+  for i = 1 to Sink.ring_capacity do
+    Sink.emit sink ~at_ns:i ~tid:1 (E.Crash { cid = 7; detector = "ring" })
+  done;
+  let ring = Sink.recovery_recent sink in
+  Alcotest.(check int) "ring holds exactly capacity" Sink.ring_capacity
+    (List.length ring);
+  Alcotest.(check int) "newest first" Sink.ring_capacity
+    (List.hd ring).E.at_ns;
+  Alcotest.(check int) "oldest is the first emission" 1
+    (List.nth ring (Sink.ring_capacity - 1)).E.at_ns;
+  (* one more emission evicts exactly the oldest *)
+  Sink.emit sink ~at_ns:(Sink.ring_capacity + 1) ~tid:1
+    (E.Crash { cid = 7; detector = "ring" });
+  let ring = Sink.recovery_recent sink in
+  Alcotest.(check int) "still at capacity" Sink.ring_capacity
+    (List.length ring);
+  Alcotest.(check int) "oldest advanced by one" 2
+    (List.nth ring (Sink.ring_capacity - 1)).E.at_ns
+
+let test_subscribe_fold_equivalence () =
+  (* a boxing subscriber and an unboxed fold subscriber on the same sink
+     must observe the same emission sequence *)
+  let sink = Sink.create ~retention:Sink.Nothing () in
+  let boxed = ref [] and folded = ref [] in
+  Sink.subscribe sink (fun e ->
+      boxed := (e.E.at_ns, e.E.tid, e.E.kind) :: !boxed);
+  Sink.subscribe_fold sink (fun ~at_ns ~tid kind ->
+      folded := (at_ns, tid, kind) :: !folded);
+  List.iteri
+    (fun i kind -> Sink.emit sink ~at_ns:(10 * i) ~tid:(i mod 4) kind)
+    [
+      span_begin ~span:1;
+      E.Crash { cid = 7; detector = "t" };
+      E.Reboot { cid = 7; epoch = 1; image_kb = 64; cost_ns = 5 };
+      E.Note { name = "n"; data = "d" };
+      E.Span_end { span = 1; server = 7; ok = true };
+    ];
+  Alcotest.(check int) "both saw every emission" 5 (List.length !boxed);
+  Alcotest.(check bool) "identical observation sequences" true
+    (!boxed = !folded)
+
 (* ---------- histogram ---------- *)
 
 let test_hist_buckets () =
@@ -104,6 +151,56 @@ let test_hist_percentiles () =
   Alcotest.(check int) "p50 reports its bucket's upper bound" 3
     (Hist.percentile h 0.5);
   Alcotest.(check int) "p100 clamps to max" 100 (Hist.percentile h 1.0)
+
+let test_hist_merge () =
+  (* merging two empties keeps the sentinels inert *)
+  let a = Hist.create () in
+  Hist.merge a (Hist.create ());
+  Alcotest.(check int) "empty+empty n" 0 (Hist.n a);
+  Alcotest.(check int) "empty+empty min" 0 (Hist.min_value a);
+  Alcotest.(check int) "empty+empty max" 0 (Hist.max_value a);
+  (* non-empty <- empty: nothing absorbed, especially not min/max *)
+  Hist.add a 5;
+  Hist.add a 100;
+  Hist.merge a (Hist.create ());
+  Alcotest.(check int) "after empty merge n" 2 (Hist.n a);
+  Alcotest.(check int) "after empty merge sum" 105 (Hist.sum a);
+  Alcotest.(check int) "after empty merge min" 5 (Hist.min_value a);
+  Alcotest.(check int) "after empty merge max" 100 (Hist.max_value a);
+  (* empty <- non-empty equals the source *)
+  let c = Hist.create () in
+  Hist.merge c a;
+  Alcotest.(check bool) "empty <- non-empty copies" true (c = a);
+  (* merge of disjoint halves equals histogramming the concatenation,
+     including the top bucket (values past the last bucket boundary) *)
+  let top = 1 lsl 60 in
+  let d = Hist.create () and e = Hist.create () in
+  List.iter (Hist.add d) [ 1; 2; 3 ];
+  List.iter (Hist.add e) [ 100; top ];
+  let m = Hist.create () in
+  Hist.merge m d;
+  Hist.merge m e;
+  let direct = Hist.create () in
+  List.iter (Hist.add direct) [ 1; 2; 3; 100; top ];
+  Alcotest.(check bool) "merge = replay" true (m = direct);
+  Alcotest.(check int) "merged n" 5 (Hist.n m);
+  Alcotest.(check int) "merged max" top (Hist.max_value m);
+  Alcotest.(check int) "merged p100" top (Hist.percentile m 1.0);
+  (* bucket index saturates instead of wrapping for huge values *)
+  Alcotest.(check int) "max_int stays in the last bucket"
+    (Hist.bucket_of max_int)
+    (Hist.bucket_of (max_int - 1))
+
+let test_hist_buckets_list () =
+  let h = Hist.create () in
+  Alcotest.(check (list (pair int int))) "empty buckets" [] (Hist.buckets_list h);
+  List.iter (Hist.add h) [ 0; 1; 1; 5; 1_000_000 ];
+  Alcotest.(check (list (pair int int)))
+    "only occupied buckets, ascending"
+    [ (0, 1); (1, 2); (3, 1); (20, 1) ]
+    (Hist.buckets_list h);
+  Alcotest.(check int) "counts sum to n" (Hist.n h)
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 (Hist.buckets_list h))
 
 (* ---------- JSON-lines codec ---------- *)
 
@@ -369,6 +466,262 @@ let test_metrics_fold () =
     (Invalid_argument "Metrics.walks: give client or server, not both")
     (fun () -> ignore (Metrics.walks ~client:1 ~server:7 m))
 
+let wbegin client server =
+  E.Walk_begin { client; server; iface = "fs"; desc = 1; reason = E.Demand }
+
+let wend ?(ok = true) client server = E.Walk_end { client; server; ok }
+
+let test_metrics_walk_pairing () =
+  (* two walks of different client/server pairs overlapping on one
+     thread: ends must pair with their own begins. A blind LIFO pop
+     would cross them and record durations {20, 40}; correct pairing
+     records {30, 30}. *)
+  let m = Metrics.create () in
+  List.iter (Metrics.feed m)
+    (stream
+       [
+         (0, 1, wbegin 1 7);
+         (10, 1, wbegin 2 8);
+         (30, 1, wend 1 7);
+         (40, 1, wend 2 8);
+       ]);
+  Alcotest.(check int) "both walks recorded" 2 (Hist.n (Metrics.walk_hist m));
+  Alcotest.(check int) "durations not crossed (max)" 30
+    (Hist.max_value (Metrics.walk_hist m));
+  Alcotest.(check int) "durations not crossed (min)" 30
+    (Hist.min_value (Metrics.walk_hist m))
+
+let test_metrics_walk_interrupted () =
+  (* an interrupted walk pops its begin without recording, and must not
+     shift the pairing of the retry or of an enclosing walk *)
+  let m = Metrics.create () in
+  List.iter (Metrics.feed m)
+    (stream
+       [
+         (0, 1, wbegin 3 9);
+         (* outer walk, still open *)
+         (2, 1, wbegin 1 7);
+         (5, 1, wend ~ok:false 1 7);
+         (* interrupted: no sample *)
+         (6, 1, wbegin 1 7);
+         (9, 1, wend 1 7);
+         (* retry: 3 ns *)
+         (20, 1, wend 3 9);
+         (* outer: 20 ns *)
+       ]);
+  Alcotest.(check int) "interrupted walk drops its sample" 2
+    (Hist.n (Metrics.walk_hist m));
+  Alcotest.(check int) "retry measured from its own begin" 3
+    (Hist.min_value (Metrics.walk_hist m));
+  Alcotest.(check int) "outer walk unaffected" 20
+    (Hist.max_value (Metrics.walk_hist m));
+  (* an end with no matching open walk is ignored *)
+  let m2 = Metrics.create () in
+  List.iter (Metrics.feed m2) (stream [ (5, 1, wend 4 4) ]);
+  Alcotest.(check int) "unmatched end ignored" 0 (Hist.n (Metrics.walk_hist m2))
+
+(* ---------- JSON-lines round-trip property ---------- *)
+
+(* strings exercising quotes, backslashes, newlines and control bytes *)
+let gen_str =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 1 126)) (int_range 0 12))
+
+let gen_reason = QCheck.Gen.oneofl [ E.Demand; E.Eager; E.Dep; E.Upcall_driven ]
+
+let gen_kind =
+  let open QCheck.Gen in
+  let i = small_nat in
+  oneof
+    [
+      map
+        (fun (span, client, server, fn) -> E.Span_begin { span; client; server; fn })
+        (quad i i i gen_str);
+      map
+        (fun (span, server, ok) -> E.Span_end { span; server; ok })
+        (triple i i bool);
+      map (fun (cid, detector) -> E.Crash { cid; detector }) (pair i gen_str);
+      map
+        (fun (cid, epoch, image_kb, cost_ns) ->
+          E.Reboot { cid; epoch; image_kb; cost_ns })
+        (quad i i i i);
+      map (fun (cid, victim) -> E.Divert { cid; victim }) (pair i i);
+      map (fun (cid, fn) -> E.Upcall { cid; fn }) (pair i gen_str);
+      map (fun (cid, fn) -> E.Reflect { cid; fn }) (pair i gen_str);
+      map
+        (fun (client, server, (iface, desc, reason)) ->
+          E.Walk_begin { client; server; iface; desc; reason })
+        (triple i i (triple gen_str i gen_reason));
+      map
+        (fun (client, server, ok) -> E.Walk_end { client; server; ok })
+        (triple i i bool);
+      map
+        (fun (client, server, iface) -> E.Recover_begin { client; server; iface })
+        (triple i i gen_str);
+      map (fun (client, server) -> E.Recover_end { client; server }) (pair i i);
+      map
+        (fun (op, space, id) -> E.Storage_op { op; space; id })
+        (triple gen_str gen_str i);
+      map
+        (fun (cid, fn, (reg, bit, outcome)) -> E.Inject { cid; fn; reg; bit; outcome })
+        (triple i gen_str (triple gen_str i gen_str));
+      map
+        (fun (cid, path, status) -> E.Http { cid; path; status })
+        (triple i gen_str i);
+      map (fun (name, data) -> E.Note { name; data }) (pair gen_str gen_str);
+    ]
+
+let gen_event =
+  QCheck.Gen.(
+    map
+      (fun (seq, at_ns, tid, kind) -> { E.seq; at_ns; tid; kind })
+      (quad small_nat small_nat small_nat gen_kind))
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"jsonl round-trip is identity"
+    (QCheck.make ~print:(Format.asprintf "%a" E.pp) gen_event)
+    (fun e ->
+      let line = Jsonl.to_string e in
+      (not (String.contains line '\n')) && Jsonl.of_string line = e)
+
+(* every constructor must actually be emitted by the generator *)
+let prop_jsonl_covers_all_kinds () =
+  let seen = Hashtbl.create 16 in
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 3000 do
+    Hashtbl.replace seen (E.kind_name (gen_kind st)) ()
+  done;
+  Alcotest.(check int) "all 15 constructors generated" 15 (Hashtbl.length seen)
+
+(* ---------- episode stitching & profiling ---------- *)
+
+(* a hand-written single-fault recovery: inject -> crash (unwinding the
+   in-flight span) -> reboot [6,16] -> divert -> demand walk wrapping a
+   replay span whose success ends the episode at 25 ns *)
+let episode_stream =
+  stream
+    [
+      (0, 1, E.Span_begin { span = 1; client = 2; server = 7; fn = "tread" });
+      (2, 1, E.Inject { cid = 7; fn = "f"; reg = "EAX"; bit = 3; outcome = "failstop" });
+      (5, 1, E.Crash { cid = 7; detector = "assert" });
+      (5, 1, E.Span_end { span = 1; server = 7; ok = false });
+      (6, 1, E.Reboot { cid = 7; epoch = 1; image_kb = 64; cost_ns = 10 });
+      (16, 1, E.Divert { cid = 7; victim = 2 });
+      (20, 2, E.Walk_begin { client = 2; server = 7; iface = "fs"; desc = 9; reason = E.Demand });
+      (22, 2, E.Span_begin { span = 5; client = 2; server = 7; fn = "tsplit" });
+      (25, 2, E.Span_end { span = 5; server = 7; ok = true });
+      (26, 2, E.Walk_end { client = 2; server = 7; ok = true });
+    ]
+
+let test_episode_stitching () =
+  match Episode.of_events episode_stream with
+  | [ ep ] ->
+      Alcotest.(check int) "crashed component" 7 ep.Episode.ep_cid;
+      Alcotest.(check int) "detected at crash" 5 ep.Episode.ep_detect_ns;
+      Alcotest.(check bool) "complete" true ep.Episode.ep_complete;
+      Alcotest.(check int) "ends at first successful access" 25
+        ep.Episode.ep_end_ns;
+      Alcotest.(check int) "span" 20 (Episode.span_ns ep);
+      (match ep.Episode.ep_trigger with
+      | Some tr ->
+          Alcotest.(check string) "trigger fn" "f" tr.Episode.tr_fn;
+          Alcotest.(check string) "trigger outcome" "failstop"
+            tr.Episode.tr_outcome
+      | None -> Alcotest.fail "missing trigger");
+      Alcotest.(check int) "five nodes" 5 (List.length ep.Episode.ep_nodes);
+      (* pre-crash span 1 must not appear; walk open at completion is
+         truncated to the episode end *)
+      List.iter
+        (fun n ->
+          match n.Episode.n_kind with
+          | Episode.N_span { span; _ } ->
+              Alcotest.(check int) "only the replay span attached" 5 span
+          | Episode.N_walk { ok; _ } ->
+              (* its Walk_end arrived after the close: truncated, which
+                 is distinct from completed *)
+              Alcotest.(check bool) "truncated walk is not marked ok" false ok;
+              Alcotest.(check int) "walk truncated to episode end" 25
+                n.Episode.n_end_ns
+          | _ -> ())
+        ep.Episode.ep_nodes
+  | eps -> Alcotest.failf "expected 1 episode, got %d" (List.length eps)
+
+let test_episode_incomplete () =
+  (* a chunk boundary abandons the in-flight episode as incomplete *)
+  let events =
+    stream
+      [
+        (5, 1, E.Crash { cid = 7; detector = "assert" });
+        (6, 1, E.Reboot { cid = 7; epoch = 1; image_kb = 64; cost_ns = 10 });
+        (20, -1, E.Note { name = "sys-reboot"; data = "chunk" });
+        (25, 1, E.Crash { cid = 3; detector = "pagefault" });
+      ]
+  in
+  match Episode.of_events events with
+  | [ a; b ] ->
+      Alcotest.(check bool) "first sealed incomplete" false a.Episode.ep_complete;
+      Alcotest.(check int) "first ends at its last activity" 16
+        a.Episode.ep_end_ns;
+      Alcotest.(check int) "second opened after the boundary" 3
+        b.Episode.ep_cid;
+      Alcotest.(check bool) "second incomplete at EOF" false
+        b.Episode.ep_complete
+  | eps -> Alcotest.failf "expected 2 episodes, got %d" (List.length eps)
+
+let test_profile_phases_and_critical_path () =
+  let ep = List.hd (Episode.of_events episode_stream) in
+  let p = Profile.phases ep in
+  Alcotest.(check int) "detect->reboot" 11 p.Profile.ph_detect_reboot_ns;
+  Alcotest.(check int) "reboot->walks" 4 p.Profile.ph_reboot_walks_ns;
+  Alcotest.(check int) "walks->access" 5 p.Profile.ph_walks_access_ns;
+  Alcotest.(check int) "phases sum to the episode span" (Episode.span_ns ep)
+    (Profile.phases_total p);
+  let cp = Profile.critical_path ep in
+  Alcotest.(check (list string))
+    "critical path detect -> reboot -> walk -> span"
+    [ "detect"; "reboot"; "walk"; "span" ]
+    (List.map
+       (fun n ->
+         match n.Episode.n_kind with
+         | Episode.N_detect _ -> "detect"
+         | Episode.N_reboot _ -> "reboot"
+         | Episode.N_walk _ -> "walk"
+         | Episode.N_span _ -> "span"
+         | _ -> "other")
+       cp);
+  (* reboot 10 + walk (20..25 truncated) 5 + replay span 3 *)
+  Alcotest.(check int) "critical path length" 18 (Profile.critical_path_ns ep)
+
+let test_profile_attribution () =
+  let eps = Episode.of_events episode_stream in
+  let attrs = Profile.attribution eps in
+  let find cid = List.find (fun a -> a.Profile.at_cid = cid) attrs in
+  let server = find 7 and client = find 2 in
+  Alcotest.(check int) "reboot cost charged to the crashed cid" 10
+    server.Profile.at_reboot_ns;
+  Alcotest.(check int) "crash counted on the crashed cid" 1
+    server.Profile.at_crashes;
+  Alcotest.(check int) "walk time charged to the walking client" 5
+    client.Profile.at_walk_ns;
+  Alcotest.(check int) "replay span charged to its client" 3
+    client.Profile.at_span_ns;
+  Alcotest.(check int) "sorted by total descending" 7
+    (List.hd attrs).Profile.at_cid;
+  (* rendering smoke: both reporters run without raising, and the JSON
+     profile carries its version *)
+  let text = Format.asprintf "%a" Profile.pp eps in
+  Alcotest.(check bool) "text report mentions the phases" true
+    (String.length text > 0);
+  let json = Profile.to_json ~source:"test" eps in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json carries version 1" true
+    (contains "\"version\":1" json);
+  Alcotest.(check bool) "json carries the attribution" true
+    (contains "\"attribution\"" json)
+
 let () =
   Alcotest.run "obs"
     [
@@ -376,6 +729,10 @@ let () =
         [
           Alcotest.test_case "retention policies" `Quick test_sink_retention;
           Alcotest.test_case "bounded recovery ring" `Quick test_sink_ring;
+          Alcotest.test_case "ring at exactly capacity" `Quick
+            test_sink_ring_exact_capacity;
+          Alcotest.test_case "subscribe/subscribe_fold equivalence" `Quick
+            test_subscribe_fold_equivalence;
         ] );
       ( "hist",
         [
@@ -383,6 +740,8 @@ let () =
           Alcotest.test_case "empty and singleton" `Quick
             test_hist_empty_and_singleton;
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "buckets_list" `Quick test_hist_buckets_list;
         ] );
       ( "jsonl",
         [
@@ -390,6 +749,9 @@ let () =
           Alcotest.test_case "dump/load" `Quick test_jsonl_dump_load;
           Alcotest.test_case "rejects malformed lines" `Quick
             test_jsonl_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+          Alcotest.test_case "generator covers all 15 kinds" `Quick
+            prop_jsonl_covers_all_kinds;
         ] );
       ( "check",
         [
@@ -407,5 +769,25 @@ let () =
           Alcotest.test_case "end of stream" `Quick test_check_end_of_stream;
         ] );
       ( "metrics",
-        [ Alcotest.test_case "counter fold" `Quick test_metrics_fold ] );
+        [
+          Alcotest.test_case "counter fold" `Quick test_metrics_fold;
+          Alcotest.test_case "overlapping walk pairing" `Quick
+            test_metrics_walk_pairing;
+          Alcotest.test_case "interrupted walk pairing" `Quick
+            test_metrics_walk_interrupted;
+        ] );
+      ( "episode",
+        [
+          Alcotest.test_case "stitches a recovery episode" `Quick
+            test_episode_stitching;
+          Alcotest.test_case "chunk boundary seals incomplete" `Quick
+            test_episode_incomplete;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "phases and critical path" `Quick
+            test_profile_phases_and_critical_path;
+          Alcotest.test_case "attribution and reporting" `Quick
+            test_profile_attribution;
+        ] );
     ]

@@ -34,6 +34,43 @@ echo "== perf smoke: sgtrace check passes on a -j 2 campaign stream"
     --trace "$tmpdir/trace.jsonl" > /dev/null 2>&1
 ./_build/default/bin/sgtrace.exe check --incomplete "$tmpdir/trace.jsonl" > /dev/null
 
+echo "== profile smoke: sgtrace profile --json validates over the campaign stream"
+./_build/default/bin/sgtrace.exe profile "$tmpdir/trace.jsonl" > /dev/null
+./_build/default/bin/sgtrace.exe profile --json "$tmpdir/trace.jsonl" \
+    > "$tmpdir/profile.json"
+python3 - "$tmpdir/profile.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["version"] == 1
+assert r["episodes_total"] >= 1 and r["episodes_complete"] >= 1
+assert r["episodes_total"] == len(r["episodes"])
+for e in r["episodes"]:
+    p = e["phases"]
+    for k in ("detect_reboot_ns", "reboot_walks_ns", "walks_access_ns"):
+        assert p[k] >= 0, (e["seq"], k)
+    assert e["span_ns"] >= 0 and e["critical_path_ns"] >= 0
+    assert sum(p.values()) <= e["span_ns"]
+    if e["complete"]:
+        assert sum(p.values()) == e["span_ns"]
+for a in r["attribution"]:
+    assert a["reboot_ns"] >= 0 and a["walk_ns"] >= 0 and a["span_ns"] >= 0
+    assert a["total_ns"] == a["reboot_ns"] + a["walk_ns"] + a["span_ns"]
+EOF
+
+echo "== determinism: -j 1 and -j 2 campaigns profile identically"
+./_build/default/bin/campaign.exe --iface lock -n 40 --seed 3 -j 1 \
+    --trace "$tmpdir/trace_j1.jsonl" > /dev/null 2>&1
+./_build/default/bin/sgtrace.exe profile --json "$tmpdir/trace_j1.jsonl" \
+    > "$tmpdir/profile_j1.json"
+./_build/default/bin/sgtrace.exe profile --json "$tmpdir/trace.jsonl" \
+    > "$tmpdir/profile_j2.json"
+python3 - "$tmpdir/profile_j1.json" "$tmpdir/profile_j2.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1])); b = json.load(open(sys.argv[2]))
+a.pop("source", None); b.pop("source", None)
+assert a == b, "episode profiles differ between -j 1 and -j 2"
+EOF
+
 echo "== lint gate: sgc lint over idl/ and the builtins"
 # exits 1 on any error-severity finding, 2 on compile errors (set -e)
 ./_build/default/bin/sgc.exe lint --builtins idl/*.sgidl > /dev/null
