@@ -114,14 +114,72 @@ let profile_arg =
            per-component time attribution) after the campaign row. \
            Deterministic across -j. Requires --iface.")
 
-let run mode iface injections seed cmon jobs trace profile =
+let verify_bounds_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-bounds" ]
+        ~doc:
+          "Check every stitched recovery episode against the static \
+           worst-case recovery-latency bound of the targeted service \
+           (sgc bound; Sg_analysis.Wcr) and exit 1 on any violation. \
+           Requires --iface.")
+
+(* The static bound for a crash of [iface] observed at its own
+   interface — the pair the campaign's episodes realize. *)
+let static_bound iface =
+  let artifacts =
+    List.map Superglue.Compiler.builtin Superglue.Compiler.builtin_names
+  in
+  let report = Sg_analysis.Wcr.analyze artifacts in
+  Sg_analysis.Wcr.bound_for report ~crashed:iface ~client:iface
+
+let check_bounds ~iface row =
+  match static_bound iface with
+  | None ->
+      Printf.printf
+        "bound-check %s: no static bound (interface unbounded or unknown)\n"
+        iface;
+      false
+  | Some bound_ns ->
+      let eps = row.Campaign.r_episodes in
+      let complete =
+        List.length (List.filter (fun e -> e.Sg_obs.Episode.ep_complete) eps)
+      in
+      let violations = Campaign.bound_violations ~bound_ns row in
+      (match Sg_obs.Episode.max_complete_span_ns eps with
+      | None ->
+          Printf.printf
+            "bound-check %s: episodes=%d complete=0 bound=%dns (no complete \
+             episode to check)\n"
+            iface (List.length eps) bound_ns
+      | Some max_span ->
+          Printf.printf
+            "bound-check %s: episodes=%d complete=%d max_span=%dns \
+             bound=%dns tightness=%.2fx violations=%d\n"
+            iface (List.length eps) complete max_span bound_ns
+            (float_of_int bound_ns /. float_of_int max_span)
+            (List.length violations));
+      List.iter
+        (fun e ->
+          Printf.printf
+            "bound-check %s: VIOLATION episode at %dns: span=%dns > bound=%dns\n"
+            iface e.Sg_obs.Episode.ep_detect_ns
+            (Sg_obs.Episode.span_ns e)
+            bound_ns)
+        violations;
+      violations <> []
+
+let run mode iface injections seed cmon jobs trace profile verify_bounds =
   let cmon_period_ns = if cmon then Some 5_000 else None in
-  match (trace, profile, iface) with
-  | Some _, _, None ->
+  match (trace, profile, verify_bounds, iface) with
+  | Some _, _, _, None ->
       prerr_endline "superglue-campaign: --trace requires --iface";
       exit 2
-  | _, true, None ->
+  | _, true, _, None ->
       prerr_endline "superglue-campaign: --profile requires --iface";
+      exit 2
+  | _, _, true, None ->
+      prerr_endline "superglue-campaign: --verify-bounds requires --iface";
       exit 2
   | _ -> (
       let writer = Option.map make_trace_writer trace in
@@ -130,12 +188,16 @@ let run mode iface injections seed cmon jobs trace profile =
       | Some iface ->
           let row =
             Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ?on_chunk ~jobs ~mode
-              ~iface ~injections ~episodes:profile ()
+              ~iface ~injections
+              ~episodes:(profile || verify_bounds)
+              ()
           in
           Format.printf "%a@." Campaign.pp_row row;
           if profile then
             Format.printf "%a@?" Sg_obs.Profile.pp row.Campaign.r_episodes;
-          Option.iter (fun (_, finish) -> finish ()) writer
+          let violated = verify_bounds && check_bounds ~iface row in
+          Option.iter (fun (_, finish) -> finish ()) writer;
+          if violated then exit 1
       | None ->
           if cmon then
             List.iter
@@ -152,7 +214,7 @@ let () =
   let term =
     Term.(
       const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg
-      $ jobs_arg $ trace_arg $ profile_arg)
+      $ jobs_arg $ trace_arg $ profile_arg $ verify_bounds_arg)
   in
   let info =
     Cmd.info "superglue-campaign"

@@ -190,6 +190,72 @@ let lint_cmd =
           error-severity finding, 1 if any, 2 on compile errors.")
     Term.(ret (const run $ files_arg $ builtins_flag $ json_flag))
 
+let bound_cmd =
+  let files_arg =
+    Arg.(
+      value
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Interface specifications (.sgidl).")
+  in
+  let builtins_flag =
+    Arg.(
+      value & flag
+      & info [ "builtins" ]
+          ~doc:"Also bound the six embedded system interfaces.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the bound table as JSON on stdout.")
+  in
+  let scale_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "cost-scale" ] ~docv:"F"
+          ~doc:"Scale every cost-model constant by $(docv) (sensitivity).")
+  in
+  let run files builtins json scale =
+    if files = [] && not builtins then
+      `Error (true, "give at least one FILE or --builtins")
+    else
+      match
+        List.map Compiler.compile_file files
+        @ (if builtins then List.map Compiler.builtin Compiler.builtin_names
+           else [])
+      with
+      | artifacts ->
+          let params =
+            {
+              Sg_analysis.Wcr.default_params with
+              Sg_analysis.Wcr.p_cost =
+                Sg_kernel.Cost.scale Sg_kernel.Cost.default scale;
+            }
+          in
+          let report = Sg_analysis.Wcr.analyze ~params artifacts in
+          if json then
+            print_endline (Json.to_string (Sg_analysis.Wcr.to_json report))
+          else print_string (Sg_analysis.Wcr.render report);
+          (* unbounded pairs (a tracked interface without desc_table_cap,
+             SG014) are findings, like lint errors *)
+          let unbounded =
+            List.exists
+              (fun p -> p.Sg_analysis.Wcr.p_bound_ns = None)
+              report.Sg_analysis.Wcr.r_pairs
+          in
+          `Ok (if unbounded then exit_findings else exit_ok)
+      | exception Compiler.Compile_error ds ->
+          List.iter print_diag ds;
+          `Ok exit_compile_error
+  in
+  Cmd.v
+    (Cmd.info "bound"
+       ~doc:
+         "Compute static worst-case recovery-latency bounds for every \
+          (crashed service, client interface) pair. Exit 0 if every pair \
+          is bounded, 1 if any is unbounded, 2 on compile errors.")
+    Term.(ret (const run $ files_arg $ builtins_flag $ json_flag $ scale_arg))
+
 let () =
   let info =
     Cmd.info "sgc" ~version:"1.0"
@@ -198,4 +264,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; header_cmd; check_cmd; graph_cmd; lint_cmd ]))
+          [ compile_cmd; header_cmd; check_cmd; graph_cmd; lint_cmd; bound_cmd ]))

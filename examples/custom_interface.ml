@@ -34,7 +34,8 @@ service_global_info = {
         desc_is_global    = false,
         desc_block        = false,
         desc_has_data     = true,
-        resc_has_data     = false
+        resc_has_data     = false,
+        desc_table_cap    = 4
 };
 
 sm_transition(reg_register, reg_renew);

@@ -30,6 +30,9 @@ let rules =
     ("SG010", Diag.Warning, "declared function absent from the state machine");
     ("SG011", Diag.Warning, "template network inconsistent with the model");
     ("SG012", Diag.Error, "wakeup dependency violates system boot order");
+    ("SG013", Diag.Error, "wakeup dependency cycle: recovery deadlock");
+    ("SG014", Diag.Error, "recovery walk count not statically bounded");
+    ("SG015", Diag.Error, "transitive wakeup chain inconsistent with boot order");
     ("SG020", Diag.Info, "post-state recovered by state-class collapsing");
     ("SG900", Diag.Error, "lexical error");
     ("SG901", Diag.Error, "syntax error");
@@ -589,52 +592,10 @@ let check_templates artifact =
        else []);
     ]
 
-(* ---------- SG012: cross-interface wakeup dependencies ---------- *)
+(* ---------- SG012-SG015: system-graph rules (see Sysgraph) ---------- *)
 
-let default_wakeup_deps = Sg_components.Sysbuild.wakeup_deps
-let default_boot_order = Sg_components.Sysbuild.boot_order
-
-let analyze_system ?(wakeup_deps = default_wakeup_deps)
-    ?(boot_order = default_boot_order) artifacts =
-  let find name =
-    List.find_opt (fun a -> a.Compiler.a_name = name) artifacts
-  in
-  let index name =
-    let rec go i = function
-      | [] -> None
-      | x :: rest -> if x = name then Some i else go (i + 1) rest
-    in
-    go 0 boot_order
-  in
-  List.concat_map
-    (fun (dependent, target, wakeup_fn) ->
-      match (find dependent, find target) with
-      | Some _, Some tgt ->
-          let tir = tgt.Compiler.a_ir in
-          let missing =
-            if not (Ir.is_wakeup tir wakeup_fn) then
-              [
-                Diag.errorf ~code:"SG012"
-                  "service %s wakes its blocked threads through %s.%s, but \
-                   %s does not declare %s as a wakeup function"
-                  dependent target wakeup_fn target wakeup_fn;
-              ]
-            else []
-          in
-          let order =
-            match (index dependent, index target) with
-            | Some di, Some ti when ti >= di ->
-                [
-                  Diag.errorf ~code:"SG012"
-                    "service %s depends on %s for wakeups but boots before \
-                     it: the target is not yet recoverable when %s reboots"
-                    dependent target dependent;
-                ]
-            | _ -> []
-          in
-          missing @ order
-      | _ -> [])
-    wakeup_deps
+let analyze_system ?wakeup_deps ?boot_order artifacts =
+  Sysgraph.analyze ?wakeup_deps ?boot_order artifacts
 
 (* ---------- entry points ---------- *)
 
@@ -652,6 +613,7 @@ let analyze artifact =
       check_roles ir;
       check_untracked_fns ir;
       check_templates artifact;
+      Sysgraph.check_artifact artifact;
     ]
 
 let lint ?wakeup_deps ?boot_order artifacts =
@@ -686,7 +648,8 @@ let diag_to_json d =
 let report_to_json ds =
   Json.Obj
     [
-      ("version", Json.Int 1);
+      ("version", Json.Int 2);
+      ("schema", Json.Str "sgc-lint");
       ("diagnostics", Json.List (List.map diag_to_json ds));
       ("errors", Json.Int (Diag.count Diag.Error ds));
       ("warnings", Json.Int (Diag.count Diag.Warning ds));

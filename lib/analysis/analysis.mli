@@ -20,8 +20,8 @@ val rules : (string * Diag.severity * string) list
 val rule_doc : string -> string option
 
 val analyze : Superglue.Compiler.artifact -> Diag.t list
-(** All single-interface rules ([SG001]–[SG011]). Total: never raises
-    for any artifact the compiler accepts. Does not include the
+(** All single-interface rules ([SG001]–[SG011], [SG014]). Total: never
+    raises for any artifact the compiler accepts. Does not include the
     compilation warnings already in
     {!Superglue.Compiler.artifact.a_warnings}. *)
 
@@ -30,10 +30,14 @@ val analyze_system :
   ?boot_order:string list ->
   Superglue.Compiler.artifact list ->
   Diag.t list
-(** The cross-interface pass ([SG012]): each wakeup dependency
-    [(dependent, target, wakeup_fn)] must name a declared wakeup
-    function of an earlier-booting target. Dependencies whose endpoints
-    are not in the artifact list are skipped. Defaults come from
+(** The cross-interface pass, delegated to {!Sysgraph.analyze}:
+    per-edge checks ([SG012] — each wakeup dependency [(dependent,
+    target, wakeup_fn)] must name a declared wakeup function of an
+    earlier-booting target; edges whose endpoints are not in the
+    artifact list are skipped) plus the whole-graph rules — dependency
+    cycles ([SG013]) and boot-order-inconsistent transitive chains
+    ([SG015]), which are wiring properties checked regardless of which
+    artifacts are present. Defaults come from
     {!Sg_components.Sysbuild}. *)
 
 val lint :
@@ -47,9 +51,10 @@ val lint :
 val diag_to_json : Diag.t -> Json.t
 val report_to_json : Diag.t list -> Json.t
 (** The [sgc lint --json] schema:
-    [{"version":1,"diagnostics":[{"code","severity","file"?,"line"?,
-    "col"?,"message"}...],"errors":N,"warnings":N,"infos":N}]. Span
-    fields are omitted for system-level findings. *)
+    [{"version":2,"schema":"sgc-lint","diagnostics":[{"code","severity",
+    "file"?,"line"?,"col"?,"message"}...],"errors":N,"warnings":N,
+    "infos":N}]. Span fields are omitted for system-level findings.
+    Version history: v1 had no ["schema"] field. *)
 
 val diag_of_json : Json.t -> Diag.t option
 val report_of_json : Json.t -> Diag.t list option

@@ -11,6 +11,9 @@ type mutant = {
   m_iface : string;
   m_op : string;
   m_source : string;
+  m_wiring : (string * string * string) list;
+      (** extra wakeup-dependency edges: system-level surgeries add
+          these to [Sysbuild.wakeup_deps] when linting (SG013/SG015) *)
 }
 
 let lines src = String.split_on_char '\n' src
@@ -158,6 +161,23 @@ let flip_desc_has_data src =
   in
   if !flipped then Some (unlines out) else None
 
+(* Multiply the desc_table_cap value by ten by appending a zero (the
+   literal ends its line in every builtin spec). *)
+let inflate_cap src =
+  let ls = lines src in
+  let hit = ref false in
+  let out =
+    List.map
+      (fun l ->
+        if (not !hit) && starts_with "desc_table_cap" l then begin
+          hit := true;
+          l ^ "0"
+        end
+        else l)
+      ls
+  in
+  if !hit then Some (unlines out) else None
+
 let append_decl decl src = Some (src ^ "\n" ^ decl ^ "\n")
 
 (* First declared function of [iface] that has no state-machine role at
@@ -181,7 +201,7 @@ let per_iface iface =
   let src = Compiler.builtin_source iface in
   let ir = (Compiler.builtin iface).Compiler.a_ir in
   let module Ir = Superglue.Ir in
-  let mk op n source = { m_id = Printf.sprintf "%s/%s/%d" iface op n; m_iface = iface; m_op = op; m_source = source } in
+  let mk op n source = { m_id = Printf.sprintf "%s/%s/%d" iface op n; m_iface = iface; m_op = op; m_source = source; m_wiring = [] } in
   let indexed op pred ~surgery =
     let total = count_matching pred src in
     List.init total (fun n ->
@@ -240,7 +260,45 @@ let per_iface iface =
              | None -> [])
          | None -> []
        else []);
+      (* remove the static descriptor-table bound: SG014, and the Wcr
+         pass loses its finite bound for the interface *)
+      indexed "drop-cap" (starts_with "desc_table_cap")
+        ~surgery:drop_matching_line;
+      (* inflate the bound tenfold: still compiles and lints clean, but
+         the Wcr static bound must grow — the surgery only the bound
+         analysis can kill *)
+      (match inflate_cap src with
+      | Some s -> [ mk "inflate-cap" 0 s ]
+      | None -> []);
     ]
 
+(* System-level surgeries: the specification text stays pristine and the
+   wiring itself is mutated (extra wakeup-dependency edges the campaign
+   adds to Sysbuild.wakeup_deps). *)
+let system_mutants () =
+  let src = Compiler.builtin_source "sched" in
+  [
+    {
+      (* lock already wakes through sched; the reverse edge closes a
+         dependency cycle — SG013 *)
+      m_id = "system/dep-cycle/0";
+      m_iface = "sched";
+      m_op = "dep-cycle";
+      m_source = src;
+      m_wiring = [ ("sched", "lock", "lock_wake") ];
+    };
+    {
+      (* a chain through an absent relay reaching a later-booting
+         service: each direct edge is silent (absent endpoint), only the
+         transitive pass sees sched ->* mm — SG015 *)
+      m_id = "system/chain-boot/0";
+      m_iface = "sched";
+      m_op = "chain-boot";
+      m_source = src;
+      m_wiring =
+        [ ("sched", "relay", "relay_wake"); ("relay", "mm", "mman_wake") ];
+    };
+  ]
+
 let builtin_mutants () =
-  List.concat_map per_iface Compiler.builtin_names
+  List.concat_map per_iface Compiler.builtin_names @ system_mutants ()

@@ -9,6 +9,10 @@ type mutant = {
   m_iface : string;
   m_op : string;
   m_source : string;  (** the mutated specification text *)
+  m_wiring : (string * string * string) list;
+      (** extra wakeup-dependency edges to add to [Sysbuild.wakeup_deps]
+          when linting: system-level surgeries ([dep-cycle],
+          [chain-boot]) mutate the wiring instead of the source text *)
 }
 
 val builtin_mutants : unit -> mutant list

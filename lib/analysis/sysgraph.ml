@@ -1,0 +1,191 @@
+(* Whole-graph analyses over the system wiring: the wakeup-dependency
+   digraph ([Sysbuild.wakeup_deps]) against the boot order. SG012 checks
+   each edge locally (declared wakeup function, earlier-booting target);
+   this module lifts the check to graph properties that no single edge
+   can witness — dependency cycles (recovery deadlock, SG013), walk
+   counts with no static bound (SG014) and transitive chains the boot
+   order does not cover (SG015). *)
+
+module Ir = Superglue.Ir
+module Model = Superglue.Model
+module Compiler = Superglue.Compiler
+module Diag = Superglue.Diag
+
+let default_wakeup_deps = Sg_components.Sysbuild.wakeup_deps
+let default_boot_order = Sg_components.Sysbuild.boot_order
+
+(* Successor services in the dependency digraph: the targets [n] wakes
+   its blocked threads through. *)
+let succs deps n =
+  List.filter_map (fun (d, t, _) -> if d = n then Some t else None) deps
+
+let nodes deps =
+  List.sort_uniq compare (List.concat_map (fun (d, t, _) -> [ d; t ]) deps)
+
+let boot_index boot_order name =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if x = name then Some i else go (i + 1) rest
+  in
+  go 0 boot_order
+
+(* ---------- SG013: blocked-on cycles ---------- *)
+
+(* A cycle in the wakeup digraph is a recovery deadlock: every service
+   on the cycle needs another member recovered before its own T0 pass
+   can wake its blocked threads. This is a property of the wiring alone,
+   so it is checked whether or not the member specifications are among
+   the compiled artifacts. Each cycle is reported once (deduplicated by
+   its node set). *)
+let check_cycles ~wakeup_deps =
+  let color = Hashtbl.create 8 in
+  let reported = Hashtbl.create 4 in
+  let diags = ref [] in
+  let rec dfs stack n =
+    match Hashtbl.find_opt color n with
+    | Some `Black -> ()
+    | Some `Grey ->
+        (* [stack] is the DFS path, most recent first; the cycle is the
+           segment back to the previous occurrence of [n]. *)
+        let rec take acc = function
+          | [] -> acc
+          | x :: rest -> if x = n then x :: acc else take (x :: acc) rest
+        in
+        let cyc = take [] stack in
+        let key = List.sort compare cyc in
+        if not (Hashtbl.mem reported key) then begin
+          Hashtbl.replace reported key ();
+          diags :=
+            Diag.errorf ~code:"SG013"
+              "wakeup dependencies form a cycle (%s): after a crash inside \
+               the cycle every member waits on another member's recovery — \
+               recovery deadlock"
+              (String.concat " -> " (cyc @ [ n ]))
+            :: !diags
+        end
+    | None ->
+        Hashtbl.replace color n `Grey;
+        List.iter (dfs (n :: stack)) (succs wakeup_deps n);
+        Hashtbl.replace color n `Black
+  in
+  List.iter (dfs []) (nodes wakeup_deps);
+  List.rev !diags
+
+(* ---------- SG015: boot-order-inconsistent transitive chains ---------- *)
+
+(* BFS distances from [start] over the dependency digraph, capped by the
+   node count so cyclic graphs terminate. *)
+let distances deps start =
+  let dist = Hashtbl.create 8 in
+  let q = Queue.create () in
+  Hashtbl.replace dist start 0;
+  Queue.add start q;
+  while not (Queue.is_empty q) do
+    let n = Queue.pop q in
+    let d = Hashtbl.find dist n in
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem dist s) then begin
+          Hashtbl.replace dist s (d + 1);
+          Queue.add s q
+        end)
+      (succs deps n)
+  done;
+  dist
+
+(* Direct edges are SG012's (artifact-aware) domain; here only the pairs
+   the closure *adds* — chains of length >= 2 — are checked, and purely
+   against the boot order: a transitive wakeup target must boot strictly
+   before the dependent or the chain is not recoverable in registration
+   order. Self-pairs are skipped (a reachable self is a cycle, SG013). *)
+let check_transitive ~wakeup_deps ~boot_order =
+  List.concat_map
+    (fun dependent ->
+      let dist = distances wakeup_deps dependent in
+      Hashtbl.fold
+        (fun target d acc ->
+          if target = dependent || d < 2 then acc
+          else
+            let ok =
+              match
+                (boot_index boot_order dependent, boot_index boot_order target)
+              with
+              | Some di, Some ti -> ti < di
+              | _ -> false
+            in
+            if ok then acc
+            else
+              Diag.errorf ~code:"SG015"
+                "service %s transitively depends on %s for wakeups (chain of \
+                 %d edges) but %s does not boot strictly earlier: the chain \
+                 cannot be recovered in registration order"
+                dependent target d target
+              :: acc)
+        dist [])
+    (nodes wakeup_deps)
+  |> List.sort_uniq compare
+
+(* ---------- SG012: per-edge checks (lifted from Analysis) ---------- *)
+
+let check_edges ~wakeup_deps ~boot_order artifacts =
+  let find name =
+    List.find_opt (fun a -> a.Compiler.a_name = name) artifacts
+  in
+  List.concat_map
+    (fun (dependent, target, wakeup_fn) ->
+      match (find dependent, find target) with
+      | Some _, Some tgt ->
+          let tir = tgt.Compiler.a_ir in
+          let missing =
+            if not (Ir.is_wakeup tir wakeup_fn) then
+              [
+                Diag.errorf ~code:"SG012"
+                  "service %s wakes its blocked threads through %s.%s, but \
+                   %s does not declare %s as a wakeup function"
+                  dependent target wakeup_fn target wakeup_fn;
+              ]
+            else []
+          in
+          let order =
+            match
+              (boot_index boot_order dependent, boot_index boot_order target)
+            with
+            | Some di, Some ti when ti >= di ->
+                [
+                  Diag.errorf ~code:"SG012"
+                    "service %s depends on %s for wakeups but boots before \
+                     it: the target is not yet recoverable when %s reboots"
+                    dependent target dependent;
+                ]
+            | _ -> []
+          in
+          missing @ order
+      | _ -> [])
+    wakeup_deps
+
+(* ---------- SG014: statically unbounded walks ---------- *)
+
+let model_span ir = Ir.span ~name:ir.Ir.ir_name ir.Ir.ir_model_pos
+
+(* An interface that tracks descriptors without a [desc_table_cap] has
+   no static bound on its live-descriptor count, so the number of eager
+   recovery walks after a crash — and with it the recovery latency — is
+   unbounded at analysis time ({!Wcr} reports no bound for it). *)
+let check_artifact artifact =
+  let ir = artifact.Compiler.a_ir in
+  if ir.Ir.ir_creates <> [] && ir.Ir.ir_model.Model.table_cap = None then
+    [
+      Diag.errorf ~code:"SG014" ~span:(model_span ir)
+        "%s tracks descriptors but declares no desc_table_cap: the number \
+         of recovery walks after a crash is not statically bounded"
+        ir.Ir.ir_name;
+    ]
+  else []
+
+(* ---------- the whole-graph pass ---------- *)
+
+let analyze ?(wakeup_deps = default_wakeup_deps)
+    ?(boot_order = default_boot_order) artifacts =
+  check_cycles ~wakeup_deps
+  @ check_transitive ~wakeup_deps ~boot_order
+  @ check_edges ~wakeup_deps ~boot_order artifacts

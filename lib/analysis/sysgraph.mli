@@ -1,0 +1,51 @@
+(** Whole-graph analyses over the system wiring.
+
+    SG012 checks each wakeup dependency locally; this module checks the
+    properties no single edge can witness, over the digraph spanned by
+    [Sysbuild.wakeup_deps] against [Sysbuild.boot_order]:
+
+    - {b SG013} — a cycle in the dependency digraph is a recovery
+      deadlock: every member's T0 eager pass waits on another member's
+      recovery. A wiring property, checked whether or not the member
+      specifications are among the compiled artifacts.
+    - {b SG015} — a transitive chain of two or more edges whose target
+      does not boot strictly before the dependent cannot be recovered in
+      registration order. Direct edges remain SG012's domain.
+    - {b SG014} — per artifact: an interface that tracks descriptors
+      without declaring [desc_table_cap] has no static bound on its
+      recovery-walk count, so {!Wcr} cannot bound its recovery latency. *)
+
+module Diag = Superglue.Diag
+
+val default_wakeup_deps : (string * string * string) list
+val default_boot_order : string list
+
+val check_cycles :
+  wakeup_deps:(string * string * string) list -> Diag.t list
+(** [SG013], one diagnostic per distinct cycle (by node set). *)
+
+val check_transitive :
+  wakeup_deps:(string * string * string) list ->
+  boot_order:string list ->
+  Diag.t list
+(** [SG015], over closure pairs at distance >= 2; self-pairs (cycles)
+    are left to {!check_cycles}. *)
+
+val check_edges :
+  wakeup_deps:(string * string * string) list ->
+  boot_order:string list ->
+  Superglue.Compiler.artifact list ->
+  Diag.t list
+(** [SG012]: per-edge declared-wakeup and boot-order checks. Edges whose
+    endpoints are not among the artifacts are skipped. *)
+
+val check_artifact : Superglue.Compiler.artifact -> Diag.t list
+(** [SG014] for one artifact. *)
+
+val analyze :
+  ?wakeup_deps:(string * string * string) list ->
+  ?boot_order:string list ->
+  Superglue.Compiler.artifact list ->
+  Diag.t list
+(** All system-level rules ([SG012]/[SG013]/[SG015]) in one pass;
+    defaults come from {!Sg_components.Sysbuild}. *)

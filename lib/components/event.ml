@@ -80,11 +80,13 @@ let dispatch st sched_cell sim _cid fn args =
       Error Comp.EINVAL
   | _ -> Error Comp.ENOENT
 
+let image_kb = 60
+
 let spec ~sched_port () =
   let st = { events = Hashtbl.create 16; next_id = 1 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 60;
+    sc_image_kb = image_kb;
     sc_init =
       (fun _ _ ->
         st.events <- Hashtbl.create 16;

@@ -18,6 +18,10 @@
     trigger/wait race during recovery is benign. *)
 
 val iface : string
+
+val image_kb : int
+(** Component image size in KB; reboot cost is [reboot_ns_per_kb * image_kb]. *)
+
 val spec : sched_port:Sg_os.Port.t option ref -> unit -> Sg_os.Sim.spec
 
 val boot_init_t0 :

@@ -64,11 +64,13 @@ let dispatch st sched_cell sim _cid fn args =
       Error Comp.EINVAL
   | _ -> Error Comp.ENOENT
 
+let image_kb = 52
+
 let spec ~sched_port () =
   let st = { locks = Hashtbl.create 16; next_id = 1 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 52;
+    sc_image_kb = image_kb;
     sc_init =
       (fun _ _ ->
         st.locks <- Hashtbl.create 16;

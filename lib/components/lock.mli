@@ -18,6 +18,9 @@
 
 val iface : string
 
+val image_kb : int
+(** Component image size in KB; reboot cost is [reboot_ns_per_kb * image_kb]. *)
+
 val spec : sched_port:Sg_os.Port.t option ref -> unit -> Sg_os.Sim.spec
 (** The scheduler port is a cell because the lock's own client stub for
     the scheduler can only be built once the lock has a component id. *)

@@ -97,11 +97,13 @@ let reflect sim _cid fn args =
       Ok (Comp.VList ms)
   | _ -> Error Comp.EINVAL
 
+let image_kb = 96
+
 let spec () =
   let st = { maps = Hashtbl.create 64 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 96;
+    sc_image_kb = image_kb;
     sc_init = (fun _ _ -> st.maps <- Hashtbl.create 64);
     sc_boot_init = (fun _ _ -> ());
     sc_dispatch = (fun sim cid fn args -> dispatch st sim cid fn args);

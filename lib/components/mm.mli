@@ -23,6 +23,10 @@
     source mapping (P_dr), and the dependency can span components. *)
 
 val iface : string
+
+val image_kb : int
+(** Component image size in KB; reboot cost is [reboot_ns_per_kb * image_kb]. *)
+
 val spec : unit -> Sg_os.Sim.spec
 
 val page_size : int

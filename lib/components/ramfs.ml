@@ -124,11 +124,13 @@ let dispatch st cbufs storage sim cid fn args =
       Error Comp.EINVAL
   | _ -> Error Comp.ENOENT
 
+let image_kb = 128
+
 let spec ~cbufs ~storage () =
   let st = { files = Hashtbl.create 32; fds = Hashtbl.create 32; next_fd = 1 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 128;
+    sc_image_kb = image_kb;
     sc_init =
       (fun _ _ ->
         st.files <- Hashtbl.create 32;

@@ -24,6 +24,9 @@
 
 val iface : string
 
+val image_kb : int
+(** Component image size in KB; reboot cost is [reboot_ns_per_kb * image_kb]. *)
+
 val spec :
   cbufs:Sg_cbuf.Cbuf.t -> storage:Sg_storage.Storage.t -> unit -> Sg_os.Sim.spec
 

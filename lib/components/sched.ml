@@ -71,11 +71,13 @@ let reflect sim _cid fn args =
       Ok (Comp.VList tids)
   | _ -> Error Comp.EINVAL
 
+let image_kb = 84
+
 let spec () =
   let st = { table = Hashtbl.create 32 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 84;
+    sc_image_kb = image_kb;
     sc_init = (fun _ _ -> st.table <- Hashtbl.create 32);
     sc_boot_init = (fun _ _ -> ());
     sc_dispatch = (fun sim cid fn args -> dispatch st sim cid fn args);

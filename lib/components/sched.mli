@@ -23,6 +23,10 @@
     who must be woken (paper §III-D step 5). *)
 
 val iface : string
+
+val image_kb : int
+(** Component image size in KB; reboot cost is [reboot_ns_per_kb * image_kb]. *)
+
 val spec : unit -> Sg_os.Sim.spec
 
 val boot_init_t0 : Sg_os.Sim.t -> Sg_os.Comp.cid -> unit

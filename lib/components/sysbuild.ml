@@ -77,6 +77,20 @@ let boot_order = [ "sched"; "lock"; "timer"; "evt"; "fs"; "mm" ]
 let wakeup_deps =
   [ ("lock", "sched", "sched_wakeup"); ("evt", "sched", "sched_wakeup") ]
 
+(* Image sizes of the six services, by interface name — the same
+   constants the component specs register with the simulator, so the
+   static bound analysis (Sg_analysis.Wcr) prices reboots with exactly
+   the kilobytes the simulator charges. *)
+let image_kb =
+  [
+    ("sched", Sched.image_kb);
+    ("lock", Lock.image_kb);
+    ("timer", Timer.image_kb);
+    ("evt", Event.image_kb);
+    ("fs", Ramfs.image_kb);
+    ("mm", Mm.image_kb);
+  ]
+
 let app_spec name =
   {
     Sim.sc_name = name;

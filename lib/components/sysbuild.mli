@@ -41,6 +41,11 @@ val wakeup_deps : (string * string * string) list
     [wakeup_fn] of [target]. The static analyzer's system pass ([SG012])
     checks interface specs against these edges and {!boot_order}. *)
 
+val image_kb : (string * int) list
+(** Image size in KB of each of the six services, by interface name —
+    the constants the component specs register with the simulator
+    ([reboot cost = reboot_ns_per_kb * image_kb]). *)
+
 val c3_stubset : Sg_storage.Storage.t -> stubset
 (** The hand-written C³ baseline stubs. *)
 

@@ -37,11 +37,13 @@ let dispatch st sim _cid fn args =
   | ("timer_create" | "timer_wait" | "timer_free"), _ -> Error Comp.EINVAL
   | _ -> Error Comp.ENOENT
 
+let image_kb = 44
+
 let spec () =
   let st = { timers = Hashtbl.create 16; next_id = 1 } in
   {
     Sim.sc_name = iface;
-    sc_image_kb = 44;
+    sc_image_kb = image_kb;
     sc_init =
       (fun _ _ ->
         st.timers <- Hashtbl.create 16;

@@ -106,6 +106,17 @@ let model_of_globals ~name kvs errors =
       | "desc_close_remove" ->
           { m with Model.close_remove = bool_of ~name kv errors }
       | "desc_has_data" -> { m with Model.desc_data = bool_of ~name kv errors }
+      | "desc_table_cap" -> (
+          match int_of_string_opt kv.Ast.gk_value with
+          | Some n when n > 0 -> { m with Model.table_cap = Some n }
+          | _ ->
+              errors :=
+                Diag.errorf ~code:"SG902"
+                  ~span:(span ~name kv.Ast.gk_pos)
+                  "desc_table_cap must be a positive integer, not %s"
+                  kv.Ast.gk_value
+                :: !errors;
+              m)
       | key ->
           errors :=
             Diag.errorf ~code:"SG902"

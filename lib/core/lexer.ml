@@ -1,5 +1,6 @@
 type token =
   | Ident of string
+  | Number of string
   | Lparen
   | Rparen
   | Lbrace
@@ -64,6 +65,7 @@ let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
 
 let tokenize src =
   let src = strip_comments src in
@@ -90,6 +92,14 @@ let tokenize src =
           incr j
         done;
         emit i (Ident (String.sub src i (!j - i)));
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        emit i (Number (String.sub src i (!j - i)));
         go !j
       end
       else begin
@@ -119,6 +129,7 @@ let tokenize src =
 
 let token_to_string = function
   | Ident s -> s
+  | Number s -> s
   | Lparen -> "("
   | Rparen -> ")"
   | Lbrace -> "{"

@@ -8,6 +8,7 @@
 
 type token =
   | Ident of string
+  | Number of string  (** decimal literal, e.g. a [desc_table_cap] value *)
   | Lparen
   | Rparen
   | Lbrace

@@ -8,6 +8,7 @@ type t = {
   close_children : bool;
   close_remove : bool;
   desc_data : bool;
+  table_cap : int option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     close_children = false;
     close_remove = true;
     desc_data = false;
+    table_cap = None;
   }
 
 let parentage_of_string s =
@@ -36,10 +38,11 @@ let parentage_to_string = function
 let pp ppf t =
   Format.fprintf ppf
     "{ block=%b; resc_data=%b; global=%b; parent=%s; close_children=%b; \
-     close_remove=%b; desc_data=%b }"
+     close_remove=%b; desc_data=%b; table_cap=%s }"
     t.block t.resc_data t.global
     (parentage_to_string t.parent)
     t.close_children t.close_remove t.desc_data
+    (match t.table_cap with None -> "none" | Some n -> string_of_int n)
 
 (* The model-to-mechanism mapping of paper §III-C. *)
 let mechanisms t =

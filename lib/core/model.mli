@@ -18,6 +18,11 @@ type t = {
   close_children : bool;  (** C_dr: closing deletes the child subtree *)
   close_remove : bool;  (** Y_dr: closing deletes the stub tracking data *)
   desc_data : bool;  (** D_dr: descriptors carry recovery data *)
+  table_cap : int option;
+      (** [desc_table_cap]: static bound on live tracked descriptors per
+          client, making the eager-walk count of a recovery episode
+          statically bounded (SG014 fires when creations exist without a
+          cap; {!Sg_analysis.Wcr} needs it to compute finite bounds). *)
 }
 
 val default : t

@@ -54,6 +54,16 @@ let parse_typed_name c =
       (ty, name)
   | _ -> fail (peek c) "expected a type and a name"
 
+(* A model-block value: an identifier (true, solo, ...) or a decimal
+   literal (desc_table_cap). *)
+let expect_value c =
+  let t = peek c in
+  match t.Lexer.tok with
+  | Lexer.Ident s | Lexer.Number s ->
+      advance c;
+      s
+  | tok -> fail t "expected a value but found %s" (Lexer.token_to_string tok)
+
 let parse_global_body c =
   expect c Lexer.Lbrace;
   let rec kvs acc =
@@ -65,7 +75,7 @@ let parse_global_body c =
     | Lexer.Ident key ->
         advance c;
         expect c Lexer.Equals;
-        let value = expect_ident c in
+        let value = expect_value c in
         let kv = { Ast.gk_key = key; gk_value = value; gk_pos = pos_of t } in
         (match (peek c).Lexer.tok with
         | Lexer.Comma -> advance c

@@ -29,6 +29,22 @@ let default =
     wakeup_ns = 260;
   }
 
+let to_assoc t =
+  [
+    ("invocation_ns", t.invocation_ns);
+    ("dispatch_ns", t.dispatch_ns);
+    ("c3_track_ns", t.c3_track_ns);
+    ("sg_track_ns", t.sg_track_ns);
+    ("sg_lookup_ns", t.sg_lookup_ns);
+    ("reboot_ns_per_kb", t.reboot_ns_per_kb);
+    ("upcall_ns", t.upcall_ns);
+    ("reflect_ns", t.reflect_ns);
+    ("storage_op_ns", t.storage_op_ns);
+    ("cbuf_map_ns", t.cbuf_map_ns);
+    ("block_ns", t.block_ns);
+    ("wakeup_ns", t.wakeup_ns);
+  ]
+
 let scale t f =
   let s x = int_of_float (float_of_int x *. f) in
   {

@@ -30,6 +30,10 @@ type t = {
 
 val default : t
 
+val to_assoc : t -> (string * int) list
+(** Every constant with its field name, in declaration order — used to
+    echo the cost table in machine-readable reports. *)
+
 val scale : t -> float -> t
 (** [scale t f] multiplies every constant by [f]; used for sensitivity
     ablations. *)

@@ -364,3 +364,20 @@ let of_events events =
   finish b
 
 let span_ns ep = ep.ep_end_ns - ep.ep_detect_ns
+
+(* Bound checking: only complete episodes have a meaningful span (an
+   incomplete one was abandoned mid-recovery, e.g. by a re-crash or the
+   end of the trace, so its span undercounts). *)
+
+let max_complete_span_ns eps =
+  List.fold_left
+    (fun acc ep ->
+      if not ep.ep_complete then acc
+      else
+        match acc with
+        | None -> Some (span_ns ep)
+        | Some m -> Some (max m (span_ns ep)))
+    None eps
+
+let over_bound ~bound_ns eps =
+  List.filter (fun ep -> ep.ep_complete && span_ns ep > bound_ns) eps

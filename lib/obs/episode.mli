@@ -66,6 +66,15 @@ val duration_ns : node -> int
 val span_ns : t -> int
 (** Detection to episode end, in virtual nanoseconds. *)
 
+val max_complete_span_ns : t list -> int option
+(** Largest {!span_ns} over the complete episodes; [None] when there is
+    none. Incomplete episodes are skipped: their spans undercount. *)
+
+val over_bound : bound_ns:int -> t list -> t list
+(** The complete episodes whose span exceeds [bound_ns] — the
+    counterexamples a static recovery-latency bound must never see
+    ([--verify-bounds]). *)
+
 (** {2 Stitching} *)
 
 type builder

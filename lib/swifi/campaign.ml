@@ -156,6 +156,12 @@ let success_rate r =
   if activated = 0 then 0.0
   else float_of_int r.r_recovered /. float_of_int activated
 
+(* Static-bound verification: the complete episodes of this row whose
+   span exceeds the given bound (requires the row to have been run with
+   ~episodes:true; incomplete episodes undercount and are skipped). *)
+let bound_violations ~bound_ns r =
+  Sg_obs.Episode.over_bound ~bound_ns r.r_episodes
+
 let pp_row ppf r =
   Format.fprintf ppf
     "%s: injected=%d recovered=%d segfault=%d propagated=%d other=%d \

@@ -83,4 +83,10 @@ val activation_ratio : row -> float
 val success_rate : row -> float
 (** |F_r| / |F_a| — recovered over activated. *)
 
+val bound_violations : bound_ns:int -> row -> Sg_obs.Episode.t list
+(** Complete episodes of the row whose span exceeds [bound_ns] — the
+    counterexamples [--verify-bounds] checks a {!Sg_analysis.Wcr} static
+    bound against. Requires the row to have been produced with
+    [~episodes:true]; incomplete episodes are skipped. *)
+
 val pp_row : Format.formatter -> row -> unit

@@ -12,8 +12,11 @@
 module Compiler = Superglue.Compiler
 module Diag = Superglue.Diag
 module Analysis = Sg_analysis.Analysis
+module Sysgraph = Sg_analysis.Sysgraph
+module Wcr = Sg_analysis.Wcr
 module Mutate = Sg_analysis.Mutate
 module Json = Sg_analysis.Json
+module Cost = Sg_kernel.Cost
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -34,10 +37,10 @@ let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diag.d_code) ds)
    arguments (paper Fig 3: evt_trigger/evt_free; fs: tread/twrite). *)
 let expected_infos =
   [
-    ("evt", 30, "evt_trigger");
-    ("evt", 31, "evt_free");
-    ("fs", 42, "tread");
-    ("fs", 44, "twrite");
+    ("evt", 31, "evt_trigger");
+    ("evt", 32, "evt_free");
+    ("fs", 43, "tread");
+    ("fs", 45, "twrite");
   ]
 
 let test_pristine_builtins () =
@@ -130,7 +133,8 @@ let test_system_skips_absent () =
 (* ---------- the mutation campaign ---------- *)
 
 (* A mutant kills a rule when lint over the six interfaces (with the
-   mutated source substituted for its interface) reports strictly more
+   mutated source substituted for its interface, and the mutant's extra
+   wiring edges added to the system graph) reports strictly more
    findings of that rule's code than the pristine baseline does. A
    mutant the compiler itself rejects counts as a compile-stage
    detection (SG900-SG902). *)
@@ -154,7 +158,12 @@ let run_campaign () =
               (fun n -> if n = m.Mutate.m_iface then a else Compiler.builtin n)
               Compiler.builtin_names
           in
-          let ds = Analysis.lint arts in
+          let ds =
+            Analysis.lint
+              ~wakeup_deps:
+                (Sysgraph.default_wakeup_deps @ m.Mutate.m_wiring)
+              arts
+          in
           List.iter
             (fun code ->
               if count_code code ds > count_code code baseline then
@@ -180,7 +189,8 @@ let test_every_rule_killed () =
   let must_kill =
     [
       "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
-      "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG020"; "compile-error";
+      "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
+      "SG015"; "SG020"; "compile-error";
     ]
   in
   List.iter
@@ -211,14 +221,33 @@ let test_json_roundtrip () =
         ~wakeup_deps:[ ("lock", "sched", "no_such_fn") ]
         ~boot_order:[ "sched"; "lock" ]
         (pristine ())
+    (* a cycle plus a boot-inconsistent chain, so the report carries
+       SG013/SG015 system findings too *)
+    @ Analysis.analyze_system
+        ~wakeup_deps:
+          [
+            ("sched", "lock", "lock_wakeup");
+            ("lock", "sched", "sched_wakeup");
+            ("timer", "ghost", "g_wake");
+            ("ghost", "mm", "mman_wake");
+          ]
+        ~boot_order:[ "sched"; "lock"; "timer"; "mm" ]
+        (pristine ())
   in
+  Alcotest.(check bool) "mix has SG013" true
+    (count_code "SG013" ds > 0);
+  Alcotest.(check bool) "mix has SG015" true
+    (count_code "SG015" ds > 0);
   let j = Analysis.report_to_json ds in
   let parsed = Json.parse (Json.to_string j) in
   (match Json.member "version" parsed with
-  | Some (Json.Int 1) -> ()
+  | Some (Json.Int 2) -> ()
   | _ -> Alcotest.fail "version field lost");
+  (match Json.member "schema" parsed with
+  | Some (Json.Str "sgc-lint") -> ()
+  | _ -> Alcotest.fail "schema field lost");
   (match Json.member "errors" parsed with
-  | Some (Json.Int 1) -> ()
+  | Some (Json.Int n) when n = Diag.count Diag.Error ds -> ()
   | v ->
       Alcotest.failf "errors count wrong: %s"
         (match v with Some j -> Json.to_string j | None -> "absent"));
@@ -239,6 +268,147 @@ let test_json_parse_escapes () =
   Alcotest.(check bool) "escape roundtrip" true
     (Json.parse (Json.to_string j) = j)
 
+(* Property: any diagnostic list — arbitrary rule codes, severities,
+   messages full of characters that need escaping, present or absent
+   spans — survives report_to_json / to_string / parse /
+   report_of_json unchanged. *)
+let gen_diag =
+  let open QCheck.Gen in
+  let code =
+    oneofl ("compile-error" :: List.map (fun (c, _, _) -> c) Analysis.rules)
+  in
+  let sev = oneofl [ Diag.Error; Diag.Warning; Diag.Info ] in
+  (* printable ASCII including '"' and '\\' to stress the escaper *)
+  let text = string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 24) in
+  let span =
+    opt
+      (map3
+         (fun f l c -> { Diag.sp_file = f; sp_line = l; sp_col = c })
+         text (int_range 1 999) (int_range 1 200))
+  in
+  map3
+    (fun (c, s) sp m ->
+      { Diag.d_code = c; d_severity = s; d_span = sp; d_message = m })
+    (pair code sev) span text
+
+let prop_report_roundtrip =
+  QCheck.Test.make ~name:"lint report JSON round-trips any diagnostic list"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 12) gen_diag)
+       ~print:(fun ds -> String.concat "\n" (List.map Diag.to_string ds)))
+    (fun ds ->
+      let parsed = Json.parse (Json.to_string (Analysis.report_to_json ds)) in
+      match Analysis.report_of_json parsed with
+      | None -> false
+      | Some ds' -> ds' = ds)
+
+(* ---------- the static worst-case recovery bound ---------- *)
+
+let test_bounds_all_finite () =
+  let r = Wcr.analyze (pristine ()) in
+  Alcotest.(check int) "six services" 6 (List.length r.Wcr.r_services);
+  Alcotest.(check int) "36 pairs" 36 (List.length r.Wcr.r_pairs);
+  List.iter
+    (fun (p : Wcr.pair) ->
+      match p.Wcr.p_bound_ns with
+      | Some b when b > 0 -> ()
+      | Some b ->
+          Alcotest.failf "non-positive bound %d for %s/%s" b p.Wcr.p_crashed
+            p.Wcr.p_client
+      | None ->
+          Alcotest.failf "unbounded pair %s/%s" p.Wcr.p_crashed p.Wcr.p_client)
+    r.Wcr.r_pairs;
+  (* episode shapes nest: a chained client waits through the crashed
+     service's whole direct episode plus its own access, an unrelated
+     client pays strictly less than any direct episode *)
+  List.iter
+    (fun (p : Wcr.pair) ->
+      let direct =
+        Option.get (Wcr.bound_for r ~crashed:p.Wcr.p_crashed ~client:p.Wcr.p_crashed)
+      in
+      let b = Option.get p.Wcr.p_bound_ns in
+      match p.Wcr.p_kind with
+      | Wcr.Direct ->
+          Alcotest.(check int) "direct pair equals direct bound" direct b
+      | Wcr.Transitive n ->
+          if n < 1 then Alcotest.failf "transitive pair with %d hops" n;
+          if b <= direct then
+            Alcotest.failf "transitive bound %d not above direct %d" b direct
+      | Wcr.Unrelated ->
+          if b >= direct then
+            Alcotest.failf "unrelated bound %d not below direct %d" b direct)
+    r.Wcr.r_pairs
+
+(* B(scale c f) = f * (B(c) - B(c0)) + B(c0) where c0 = scale c 0: the
+   bound is affine in the cost constants (the usage-profile terms are
+   deliberately not scaled), so calibrating the cost model rescales
+   every bound without re-running the analysis. *)
+let test_scale_commutes () =
+  let arts = pristine () in
+  let bounds f =
+    let params =
+      { Wcr.default_params with Wcr.p_cost = Cost.scale Cost.default f }
+    in
+    (Wcr.analyze ~params arts).Wcr.r_pairs
+  in
+  let b1 = (Wcr.analyze arts).Wcr.r_pairs in
+  let b0 = bounds 0. in
+  List.iter
+    (fun f ->
+      let bf = bounds (float_of_int f) in
+      List.iter2
+        (fun (pf : Wcr.pair) ((p1 : Wcr.pair), (p0 : Wcr.pair)) ->
+          match (pf.Wcr.p_bound_ns, p1.Wcr.p_bound_ns, p0.Wcr.p_bound_ns) with
+          | Some vf, Some v1, Some v0 ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s at scale %d" pf.Wcr.p_crashed
+                   pf.Wcr.p_client f)
+                ((f * (v1 - v0)) + v0)
+                vf
+          | _ -> Alcotest.fail "unbounded pair under scaling")
+        bf (List.combine b1 b0))
+    [ 0; 2; 5 ]
+
+let find_mutant id =
+  match
+    List.find_opt (fun m -> m.Mutate.m_id = id) (Mutate.builtin_mutants ())
+  with
+  | Some m -> m
+  | None -> Alcotest.failf "mutant %s missing from the corpus" id
+
+let substitute m =
+  List.map
+    (fun n ->
+      if n = m.Mutate.m_iface then Compiler.compile ~name:n m.Mutate.m_source
+      else Compiler.builtin n)
+    Compiler.builtin_names
+
+let test_drop_cap_unbounds () =
+  let m = find_mutant "sched/drop-cap/0" in
+  let r = Wcr.analyze (substitute m) in
+  Alcotest.(check (option int))
+    "no cap means no bound" None
+    (Wcr.bound_for r ~crashed:"sched" ~client:"sched");
+  (* the other services keep their own direct bounds *)
+  match Wcr.bound_for r ~crashed:"mm" ~client:"mm" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unrelated service lost its bound"
+
+let test_inflate_cap_raises_bound () =
+  let base = Wcr.analyze (pristine ()) in
+  let m = find_mutant "sched/inflate-cap/0" in
+  let r = Wcr.analyze (substitute m) in
+  match
+    ( Wcr.bound_for base ~crashed:"sched" ~client:"sched",
+      Wcr.bound_for r ~crashed:"sched" ~client:"sched" )
+  with
+  | Some b0, Some b1 ->
+      if b1 <= b0 then
+        Alcotest.failf "inflating the cap did not raise the bound (%d <= %d)"
+          b1 b0
+  | _ -> Alcotest.fail "direct bound missing"
+
 (* ---------- the rule table ---------- *)
 
 let test_rule_table () =
@@ -250,11 +420,51 @@ let test_rule_table () =
   Alcotest.(check (option string)) "unknown code" None
     (Analysis.rule_doc "SG999")
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Totality: every code in Analysis.rules has a one-line doc, a row in
+   the DESIGN.md rule table, and a mention in the README — so a rule
+   cannot be added without being documented (and this list pins the
+   current contents). *)
+let test_rules_documented () =
+  let expected_codes =
+    [
+      "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
+      "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
+      "SG015"; "SG020"; "SG900"; "SG901"; "SG902";
+    ]
+  in
+  Alcotest.(check (list string))
+    "rules table contents" expected_codes
+    (List.map (fun (c, _, _) -> c) Analysis.rules);
+  let design = read_file (locate "../DESIGN.md" "DESIGN.md") in
+  let readme = read_file (locate "../README.md" "README.md") in
+  List.iter
+    (fun (code, _, doc) ->
+      (match Analysis.rule_doc code with
+      | Some d when d = doc -> ()
+      | _ -> Alcotest.failf "rule_doc out of sync for %s" code);
+      if not (contains design code) then
+        Alcotest.failf "%s has no DESIGN.md table row" code)
+    Analysis.rules;
+  List.iter
+    (fun code ->
+      if not (contains readme code) then
+        Alcotest.failf "%s not mentioned in README.md" code)
+    [ "SG001"; "SG013"; "SG014"; "SG015"; "SG020"; "SG900" ]
+
 (* ---------- the fixture corpus ---------- *)
 
 (* Each fixture's first line is "/* expect: <code> */": either a rule
    code the analyzer (or compiler) must report for that file, or
-   "clean" meaning the file lints with no findings at all. *)
+   "clean" meaning the file lints with no findings at all. An optional
+   second line "/* system: deps=a>b:fn,... boot=x,y */" overrides the
+   wiring the fixture lints under, so single-file fixtures can
+   exercise the system-graph rules (SG012/SG013/SG015). *)
 let fixture_expectation path =
   let ic = open_in path in
   let line =
@@ -270,6 +480,48 @@ let fixture_expectation path =
       in
       String.trim rest
   | _ -> Alcotest.failf "%s has no expect: header" path
+
+let drop_prefix p s =
+  if
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  then Some (String.sub s (String.length p) (String.length s - String.length p))
+  else None
+
+let fixture_system path =
+  let ic = open_in path in
+  let line2 =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let (_ : string) = input_line ic in
+        try Some (input_line ic) with End_of_file -> None)
+  in
+  match line2 with
+  | Some l when contains l "system:" ->
+      let deps = ref None and boot = ref None in
+      List.iter
+        (fun tok ->
+          (match drop_prefix "deps=" tok with
+          | Some v ->
+              deps :=
+                Some
+                  (List.map
+                     (fun e ->
+                       match String.split_on_char '>' e with
+                       | [ d; rest ] -> (
+                           match String.split_on_char ':' rest with
+                           | [ tg; fn ] -> (d, tg, fn)
+                           | _ -> Alcotest.failf "%s: bad dep %s" path e)
+                       | _ -> Alcotest.failf "%s: bad dep %s" path e)
+                     (String.split_on_char ',' v))
+          | None -> ());
+          match drop_prefix "boot=" tok with
+          | Some v -> boot := Some (String.split_on_char ',' v)
+          | None -> ())
+        (String.split_on_char ' ' l);
+      (!deps, !boot)
+  | _ -> (None, None)
 
 let test_fixtures () =
   let dir = locate "fixtures" "test/fixtures" in
@@ -291,7 +543,8 @@ let test_fixtures () =
             Alcotest.failf "%s: expected %s, compile failed with %s" f expect
               (String.concat " " got)
       | a -> (
-          let ds = Analysis.lint [ a ] in
+          let wakeup_deps, boot_order = fixture_system path in
+          let ds = Analysis.lint ?wakeup_deps ?boot_order [ a ] in
           match expect with
           | "clean" ->
               Alcotest.(check (list string))
@@ -334,9 +587,25 @@ let () =
         [
           Alcotest.test_case "report round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "string escapes" `Quick test_json_parse_escapes;
+          QCheck_alcotest.to_alcotest prop_report_roundtrip;
+        ] );
+      ( "wcr",
+        [
+          Alcotest.test_case "all builtin pairs bounded" `Quick
+            test_bounds_all_finite;
+          Alcotest.test_case "Cost.scale commutes with the bound" `Quick
+            test_scale_commutes;
+          Alcotest.test_case "dropping the cap unbounds" `Quick
+            test_drop_cap_unbounds;
+          Alcotest.test_case "inflating the cap raises the bound" `Quick
+            test_inflate_cap_raises_bound;
         ] );
       ( "rules",
-        [ Alcotest.test_case "table is consistent" `Quick test_rule_table ] );
+        [
+          Alcotest.test_case "table is consistent" `Quick test_rule_table;
+          Alcotest.test_case "every rule documented" `Quick
+            test_rules_documented;
+        ] );
       ( "fixtures",
         [ Alcotest.test_case "expectations hold" `Quick test_fixtures ] );
     ]

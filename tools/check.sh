@@ -79,11 +79,39 @@ echo "== lint gate: sgc lint over idl/ and the builtins"
 python3 - "$tmpdir/lint.json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["version"] == 1
+assert r["version"] == 2 and r["schema"] == "sgc-lint"
 assert r["errors"] == 0 and r["warnings"] == 0
 for d in r["diagnostics"]:
     assert d["code"].startswith("SG") and d["severity"] == "info"
     assert d["file"] and d["line"] >= 1 and d["col"] >= 1
 EOF
+
+echo "== bound gate: sgc bound over the six builtins"
+# exits 1 if any (crashed, client) pair is unbounded
+./_build/default/bin/sgc.exe bound --builtins > /dev/null
+./_build/default/bin/sgc.exe bound --json --builtins > "$tmpdir/bound.json"
+python3 - "$tmpdir/bound.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["version"] == 1 and r["schema"] == "sgc-bound"
+assert len(r["services"]) == 6
+for s in r["services"]:
+    assert s["image_kb"] > 0 and s["reboot_ns"] > 0
+    assert s["cap"] is not None and s["direct_ns"] is not None
+assert len(r["pairs"]) == 36
+for p in r["pairs"]:
+    assert p["kind"] in ("direct", "transitive", "unrelated")
+    assert p["bound_ns"] is not None and p["bound_ns"] > 0
+EOF
+
+echo "== bound cross-validation: no stitched episode exceeds the static bound"
+# --verify-bounds recomputes the Wcr bound and exits 1 on any violation;
+# run at both -j 1 and -j 2 (speculative chunks must not change spans)
+./_build/default/bin/campaign.exe --iface sched -n 120 --seed 7 -j 1 \
+    --verify-bounds > "$tmpdir/vb1.out" 2>&1
+./_build/default/bin/campaign.exe --iface fs -n 120 --seed 7 -j 2 \
+    --verify-bounds > "$tmpdir/vb2.out" 2>&1
+grep -q "violations=0" "$tmpdir/vb1.out"
+grep -q "violations=0" "$tmpdir/vb2.out"
 
 echo "== tier-1 gate OK"
