@@ -1,0 +1,239 @@
+(* superglue-dst — property-based DST campaigns over the simulated OS.
+
+   superglue-dst run     seed-deterministic campaign: generate scenarios,
+                         execute under fault injection, judge with the
+                         combined oracle; on a failure, shrink to a
+                         1-minimal repro and write a replay artifact
+   superglue-dst shrink  re-shrink a saved artifact (deterministic at
+                         any -j; used by CI to cross-check parallelism)
+   superglue-dst replay  rerun an artifact and verify its recorded
+                         verdict class reproduces
+   superglue-dst mutants list the builtin mutation-testing mutants *)
+
+open Cmdliner
+module Dst = Sg_dst.Dst
+module Exec = Sg_dst.Exec
+module Gen = Sg_dst.Gen
+module Plan = Sg_dst.Plan
+module Artifact = Sg_dst.Artifact
+module Shrink = Sg_dst.Shrink
+module Mutate = Sg_analysis.Mutate
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed.")
+
+let count_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "count" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+
+let mutant_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutant" ] ~docv:"ID"
+        ~doc:
+          "Run against the named builtin mutant (see $(b,superglue-dst \
+           mutants)) with a campaign focused on its interface.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the repro artifact here.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Shrink-candidate evaluation parallelism. The shrink result is \
+           identical at every value.")
+
+let no_shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ]
+        ~doc:"Write the original failing scenario without shrinking it.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary.")
+
+let workload_label = function
+  | Exec.Ops ops -> Printf.sprintf "ops=%d" (List.length ops)
+  | Exec.Classic { iface; iters; knob } ->
+      Printf.sprintf "classic=%s iters=%d knob=%d" iface iters knob
+
+let print_detail verdict =
+  List.iter (Printf.printf "    %s\n") (Exec.verdict_detail verdict)
+
+let emit_artifact ~out ~jobs ~sut ~no_shrink report =
+  let artifact, stats_opt =
+    match report.Dst.rr_result with
+    | Error msg ->
+        (* compile-error mutants have no runnable scenario: record the
+           unshrunk scenario with a fatal verdict for the log *)
+        Printf.printf "  mutant failed to compile: %s\n" msg;
+        ( {
+            Artifact.af_sut = Exec.sut_label sut;
+            af_verdict = "fatal";
+            af_scenario = report.Dst.rr_scenario;
+          },
+          None )
+    | Ok o ->
+        if no_shrink then
+          ( {
+              Artifact.af_sut = Exec.sut_label sut;
+              af_verdict = Exec.verdict_class o.Exec.oc_verdict;
+              af_scenario = report.Dst.rr_scenario;
+            },
+            None )
+        else begin
+          let a, stats = Dst.shrink_to_artifact ~jobs ~sut report.Dst.rr_scenario in
+          (a, Some stats)
+        end
+  in
+  (match stats_opt with
+  | Some s ->
+      Printf.printf
+        "  shrunk: %d element(s) removed in %d sweep(s), %d execution(s)\n"
+        s.Shrink.sh_removed s.Shrink.sh_sweeps s.Shrink.sh_evals
+  | None -> ());
+  match out with
+  | None -> Printf.printf "  repro: %s\n" (Artifact.to_string artifact)
+  | Some path ->
+      Artifact.save path artifact;
+      Printf.printf "  repro written to %s\n" path
+
+let run_cmd_fn seed count mutant out jobs no_shrink quiet =
+  let sut, profile =
+    match mutant with
+    | None -> (Some Exec.Pristine, Dst.default_profile)
+    | Some id -> (
+        match Dst.find_mutant id with
+        | Some m -> (Some (Exec.Mutant m), Dst.focus_profile m.Mutate.m_iface)
+        | None -> (None, Dst.default_profile))
+  in
+  match sut with
+  | None ->
+      Printf.eprintf "superglue-dst: unknown mutant %s\n" (Option.get mutant);
+      2
+  | Some sut ->
+      let services = Hashtbl.create 8 in
+      let failures = ref 0 in
+      let ran = ref 0 in
+      (try
+         for i = 0 to count - 1 do
+           let r = Dst.run_seed ~sut ~profile (seed + i) in
+           incr ran;
+           List.iter
+             (fun s -> Hashtbl.replace services s ())
+             (Exec.services_of_workload r.Dst.rr_scenario.Exec.sc_workload);
+           let verdict_str =
+             match r.Dst.rr_result with
+             | Error _ -> "compile-error"
+             | Ok o -> Exec.verdict_class o.Exec.oc_verdict
+           in
+           if not quiet then
+             Printf.printf "seed %d %s plan=%d verdict=%s\n" r.Dst.rr_seed
+               (workload_label r.Dst.rr_scenario.Exec.sc_workload)
+               (List.length r.Dst.rr_scenario.Exec.sc_plan)
+               verdict_str;
+           if Dst.report_failed r then begin
+             incr failures;
+             (match r.Dst.rr_result with
+             | Ok o when not quiet -> print_detail o.Exec.oc_verdict
+             | _ -> ());
+             emit_artifact ~out ~jobs ~sut ~no_shrink r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Printf.printf "dst: %d seed(s), %d failure(s), services=%d, sut=%s\n"
+        !ran !failures (Hashtbl.length services) (Exec.sut_label sut);
+      if !failures > 0 then 1 else 0
+
+let shrink_cmd_fn artifact_path out jobs =
+  let a = Artifact.load artifact_path in
+  match Dst.sut_of_label a.Artifact.af_sut with
+  | None ->
+      Printf.eprintf "superglue-dst: unknown sut %s\n" a.Artifact.af_sut;
+      2
+  | Some sut -> (
+      match Dst.shrink_to_artifact ~jobs ~sut a.Artifact.af_scenario with
+      | shrunk, stats ->
+          Printf.printf
+            "shrunk: %d element(s) removed in %d sweep(s), %d execution(s), \
+             verdict=%s\n"
+            stats.Shrink.sh_removed stats.Shrink.sh_sweeps stats.Shrink.sh_evals
+            shrunk.Artifact.af_verdict;
+          (match out with
+          | None -> print_string (Artifact.to_string shrunk ^ "\n")
+          | Some path ->
+              Artifact.save path shrunk;
+              Printf.printf "written to %s\n" path);
+          0
+      | exception Invalid_argument msg ->
+          Printf.eprintf "superglue-dst: %s\n" msg;
+          2)
+
+let replay_cmd_fn artifact_path =
+  let a = Artifact.load artifact_path in
+  match Dst.replay a with
+  | Error msg ->
+      Printf.eprintf "superglue-dst: %s\n" msg;
+      2
+  | Ok (o, matches) ->
+      Printf.printf "replay: verdict=%s recorded=%s %s\n"
+        (Exec.verdict_class o.Exec.oc_verdict)
+        a.Artifact.af_verdict
+        (if matches then "(reproduced)" else "(MISMATCH)");
+      print_detail o.Exec.oc_verdict;
+      if matches then 0 else 1
+
+let mutants_cmd_fn () =
+  List.iter
+    (fun m -> Printf.printf "%s\n" m.Mutate.m_id)
+    (Mutate.builtin_mutants ());
+  0
+
+let artifact_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "artifact" ] ~docv:"FILE" ~doc:"Repro artifact to load.")
+
+let artifact_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Repro artifact to load.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a seed-deterministic DST campaign.")
+    Term.(
+      const run_cmd_fn $ seed_arg $ count_arg $ mutant_arg $ out_arg $ jobs_arg
+      $ no_shrink_arg $ quiet_arg)
+
+let shrink_cmd =
+  Cmd.v
+    (Cmd.info "shrink" ~doc:"Shrink a saved artifact to a 1-minimal repro.")
+    Term.(const shrink_cmd_fn $ artifact_arg $ out_arg $ jobs_arg)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay an artifact and verify its verdict.")
+    Term.(const replay_cmd_fn $ artifact_pos)
+
+let mutants_cmd =
+  Cmd.v
+    (Cmd.info "mutants" ~doc:"List the builtin mutants.")
+    Term.(const mutants_cmd_fn $ const ())
+
+let () =
+  let info =
+    Cmd.info "superglue-dst" ~version:"1.0"
+      ~doc:"Property-based DST campaigns with shrinking for SuperGlue."
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; shrink_cmd; replay_cmd; mutants_cmd ]))

@@ -124,7 +124,22 @@ let rec recover_desc ?(even_dead = false) ?(reason = Sg_obs.Event.Demand) sim t 
         (* the stub updates its tracking record post-recovery *)
         Tracker.track_charge t.sb_tracker sim
       with
-      | () -> walk_end true
+      | () ->
+          (* A nested recovery (a Dep/XCParent walk of the parent, or a
+             replay that crashed the server again) can absorb a
+             crash+reboot without unwinding this walk: the inner walk
+             retries at the new epoch and returns normally, leaving this
+             walk's replayed state — stamped at the old epoch — silently
+             stale. Left as-is, the next G0 upcall for this descriptor
+             re-replays it into a second, diverging live copy (threads
+             blocked on the first replica starve). Re-check the epoch at
+             walk end and redo the walk if a nested reboot moved it. *)
+          if Sim.epoch sim t.sb_server <> ep then begin
+            walk_end false;
+            d.Tracker.d_epoch <- -1;
+            go (attempt + 1)
+          end
+          else walk_end true
       | exception Walk_interrupted ->
           walk_end false;
           d.Tracker.d_epoch <- -1;

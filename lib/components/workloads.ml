@@ -1,7 +1,28 @@
 module Sim = Sg_os.Sim
 module Comp = Sg_os.Comp
+module Port = Sg_os.Port
 
 let all_ifaces = [ "sched"; "mm"; "fs"; "lock"; "evt"; "timer" ]
+
+type params = {
+  wp_fs_path : string;
+  wp_lock_contenders : int;
+  wp_evt_triggers : int;
+  wp_timer_period_ns : int;
+  wp_mm_fanout : int;
+}
+
+(* the paper's fixed workloads: with these values every parameterized
+   setup below executes the exact instruction sequence of the original
+   hand-written ones, so Table II and the golden traces are unchanged *)
+let default_params =
+  {
+    wp_fs_path = "bench.dat";
+    wp_lock_contenders = 2;
+    wp_evt_triggers = 1;
+    wp_timer_period_ns = 200_000;
+    wp_mm_fanout = 1;
+  }
 
 (* Two threads ping-pong, blocking and waking each other in turn. *)
 let setup_sched sys ~iters =
@@ -38,24 +59,28 @@ let setup_sched sys ~iters =
       ]
 
 (* Pages granted, aliased into a different component, then revoked. *)
-let setup_mm sys ~iters =
+let setup_mm sys ~params ~iters =
   let sim = sys.Sysbuild.sys_sim in
   let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
   let port = sys.Sysbuild.sys_port ~client:app1 ~iface:"mm" in
+  let fanout = params.wp_mm_fanout in
+  let expect = fanout + 1 in
   let revoked = ref 0 in
   let errors = ref [] in
   let _ =
     Sim.spawn sim ~prio:5 ~name:"mm-wl" ~home:app1 (fun sim ->
         for i = 1 to iters do
-          let v = 0x1000 * i * 2 in
-          let v2 = v + 0x1000 in
+          let v = 0x1000 * i * expect in
           Mm.get_page port sim ~vaddr:v;
-          Mm.alias_page port sim ~svaddr:v ~dst:app2 ~dvaddr:v2;
+          for k = 1 to fanout do
+            Mm.alias_page port sim ~svaddr:v ~dst:app2 ~dvaddr:(v + (0x1000 * k))
+          done;
           let n = Mm.release_page port sim ~vaddr:v in
           revoked := !revoked + n;
-          if n <> 2 then
+          if n <> expect then
             errors :=
-              Printf.sprintf "mm: iteration %d revoked %d mappings, expected 2" i n
+              Printf.sprintf "mm: iteration %d revoked %d mappings, expected %d"
+                i n expect
               :: !errors
         done)
   in
@@ -67,8 +92,9 @@ let setup_mm sys ~iters =
     List.concat
       [
         !errors;
-        (if !revoked <> 2 * iters then
-           [ Printf.sprintf "mm: revoked %d mappings, expected %d" !revoked (2 * iters) ]
+        (if !revoked <> expect * iters then
+           [ Printf.sprintf "mm: revoked %d mappings, expected %d" !revoked
+               (expect * iters) ]
          else []);
         (if residual app1 <> 0 then
            [ Printf.sprintf "mm: %d residual kernel mappings in app1" (residual app1) ]
@@ -79,7 +105,7 @@ let setup_mm sys ~iters =
       ]
 
 (* A file is opened, a byte written to it, read from it, then closed. *)
-let setup_fs sys ~iters =
+let setup_fs sys ~params ~iters =
   let sim = sys.Sysbuild.sys_sim in
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"fs" in
@@ -88,7 +114,9 @@ let setup_fs sys ~iters =
   let _ =
     Sim.spawn sim ~prio:5 ~name:"fs-wl" ~home:app (fun sim ->
         for i = 1 to iters do
-          let fd = Ramfs.tsplit port sim ~parent:Ramfs.root_fd ~name:"bench.dat" in
+          let fd =
+            Ramfs.tsplit port sim ~parent:Ramfs.root_fd ~name:params.wp_fs_path
+          in
           let byte = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) in
           ignore (Ramfs.twrite port sim ~fd ~data:byte);
           ignore (Ramfs.tlseek port sim ~fd ~off:0);
@@ -111,10 +139,11 @@ let setup_fs sys ~iters =
       ]
 
 (* One thread holds a lock another contends; mutual exclusion monitored. *)
-let setup_lock sys ~iters =
+let setup_lock sys ~params ~iters =
   let sim = sys.Sysbuild.sys_sim in
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"lock" in
+  let n_contenders = params.wp_lock_contenders in
   let lock_id = ref None in
   let in_cs = ref 0 in
   let violations = ref [] in
@@ -152,23 +181,30 @@ let setup_lock sys ~iters =
         incr completed)
   in
   let _ = contender "holder" in
-  let _ = contender "contender" in
+  for k = 2 to n_contenders do
+    let _ =
+      contender (if k = 2 then "contender" else Printf.sprintf "contender%d" k)
+    in
+    ()
+  done;
   fun () ->
     List.concat
       [
         !violations;
-        (if !completed <> 2 then
-           [ Printf.sprintf "lock: %d/2 threads completed" !completed ]
+        (if !completed <> n_contenders then
+           [ Printf.sprintf "lock: %d/%d threads completed" !completed
+               n_contenders ]
          else []);
       ]
 
 (* A thread blocks on an event that a thread in a different component
    triggers; the event's parent was created by the first component. *)
-let setup_evt sys ~iters =
+let setup_evt sys ~params ~iters =
   let sim = sys.Sysbuild.sys_sim in
   let app1 = sys.Sysbuild.sys_app1 and app2 = sys.Sysbuild.sys_app2 in
   let port1 = sys.Sysbuild.sys_port ~client:app1 ~iface:"evt" in
   let port2 = sys.Sysbuild.sys_port ~client:app2 ~iface:"evt" in
+  let burst = params.wp_evt_triggers in
   let parent_id = ref None in
   let child_id = ref None in
   let waits = ref 0 and triggers = ref 0 in
@@ -188,7 +224,7 @@ let setup_evt sys ~iters =
            cross-component dependency (XCParent) *)
         let child = Event.split port2 sim ~compid:app2 ~parent ~grp:1 in
         child_id := Some child;
-        for _ = 1 to iters do
+        for _ = 1 to iters * burst do
           Event.wait port2 sim ~compid:app2 child;
           incr waits
         done;
@@ -208,8 +244,21 @@ let setup_evt sys ~iters =
           get ()
         in
         for _ = 1 to iters do
-          (* trigger from a different component than the creator *)
-          Event.trigger port1 sim ~compid:app1 child;
+          (* trigger from a different component than the creator; with a
+             burst > 1 the extra triggers latch (counting semantics) *)
+          for _ = 1 to burst do
+            Event.trigger port1 sim ~compid:app1 child
+          done;
+          Sim.yield sim
+        done;
+        (* at-least-once: a crash between a trigger and its consumption
+           loses the pending count (evt.sgidl does not track it), so a
+           fixed trigger budget can leave the waiter short. Re-trigger
+           until the waiter reports done; extra triggers merely latch. *)
+        while !waits < iters * burst do
+          ignore
+            (Port.call port1 sim "evt_trigger"
+               [ Comp.VInt app1; Comp.VInt child ]);
           Sim.yield sim
         done;
         incr triggers;
@@ -218,19 +267,20 @@ let setup_evt sys ~iters =
   fun () ->
     List.concat
       [
-        (if !waits <> iters then
-           [ Printf.sprintf "evt: waiter completed %d/%d waits" !waits iters ]
+        (if !waits <> iters * burst then
+           [ Printf.sprintf "evt: waiter completed %d/%d waits" !waits
+               (iters * burst) ]
          else []);
         (if !triggers <> 1 then [ "evt: trigger thread did not complete" ] else []);
       ]
 
 (* A thread wakes up, then blocks for a certain amount of time,
    periodically. *)
-let setup_timer sys ~iters =
+let setup_timer sys ~params ~iters =
   let sim = sys.Sysbuild.sys_sim in
   let app = sys.Sysbuild.sys_app1 in
   let port = sys.Sysbuild.sys_port ~client:app ~iface:"timer" in
-  let period_ns = 200_000 in
+  let period_ns = params.wp_timer_period_ns in
   let ticks = ref 0 in
   let start_ns = ref 0 and end_ns = ref 0 in
   let _ =
@@ -255,12 +305,20 @@ let setup_timer sys ~iters =
          else []);
       ]
 
-let setup sys ~iface ~iters =
+let setup ?(params = default_params) sys ~iface ~iters =
+  if params.wp_lock_contenders < 1 then
+    invalid_arg "Workloads.setup: wp_lock_contenders must be at least 1";
+  if params.wp_evt_triggers < 1 then
+    invalid_arg "Workloads.setup: wp_evt_triggers must be at least 1";
+  if params.wp_mm_fanout < 1 then
+    invalid_arg "Workloads.setup: wp_mm_fanout must be at least 1";
+  if params.wp_timer_period_ns < 1 then
+    invalid_arg "Workloads.setup: wp_timer_period_ns must be positive";
   match iface with
   | "sched" -> setup_sched sys ~iters
-  | "mm" -> setup_mm sys ~iters
-  | "fs" -> setup_fs sys ~iters
-  | "lock" -> setup_lock sys ~iters
-  | "evt" -> setup_evt sys ~iters
-  | "timer" -> setup_timer sys ~iters
+  | "mm" -> setup_mm sys ~params ~iters
+  | "fs" -> setup_fs sys ~params ~iters
+  | "lock" -> setup_lock sys ~params ~iters
+  | "evt" -> setup_evt sys ~params ~iters
+  | "timer" -> setup_timer sys ~params ~iters
   | _ -> invalid_arg ("Workloads.setup: unknown interface " ^ iface)

@@ -1,0 +1,137 @@
+(* Campaign driver: seeds to scenarios to verdicts to artifacts.
+
+   One integer seed determines everything downstream: the master Rng is
+   split into independent workload and plan streams, so the op sequence
+   and the injection plan are separately stable — changing the plan
+   configuration never perturbs the generated ops for the same seed. *)
+
+module Rng = Sg_util.Rng
+module Mutate = Sg_analysis.Mutate
+module Compiler = Superglue.Compiler
+module Workloads = Sg_components.Workloads
+
+type profile = {
+  pf_mix : Gen.mix;
+  pf_plan : Plan.config;
+  pf_len : int;
+  pf_classic_every : int;
+  pf_classic_iface : string option;
+}
+
+let default_profile =
+  {
+    pf_mix = Gen.default_mix;
+    pf_plan = Plan.default_config;
+    pf_len = 12;
+    pf_classic_every = 5;
+    pf_classic_iface = None;
+  }
+
+let focus_profile iface =
+  {
+    pf_mix = Gen.focus_mix iface;
+    pf_plan = Plan.focus_config;
+    pf_len = 10;
+    pf_classic_every = 3;
+    pf_classic_iface = Some iface;
+  }
+
+let scenario_of_seed ?(profile = default_profile) seed =
+  let rng = Rng.create seed in
+  let wl_rng = Rng.split rng in
+  let plan_rng = Rng.split rng in
+  let classic =
+    profile.pf_classic_every > 0 && seed mod profile.pf_classic_every = 0
+  in
+  let workload =
+    if classic then
+      let iface =
+        match profile.pf_classic_iface with
+        | Some iface -> iface
+        | None -> Rng.choose wl_rng (Array.of_list Workloads.all_ifaces)
+      in
+      Exec.Classic
+        { iface; iters = 2 + Rng.int wl_rng 3; knob = 1 + Rng.int wl_rng 2 }
+    else Exec.Ops (Gen.generate ~mix:profile.pf_mix wl_rng ~len:profile.pf_len)
+  in
+  let plan =
+    Plan.generate ~config:profile.pf_plan
+      ~services:(Exec.services_of_workload workload)
+      plan_rng
+  in
+  { Exec.sc_seed = seed; sc_workload = workload; sc_plan = plan }
+
+(* ---------- sut naming ---------- *)
+
+let find_mutant id =
+  List.find_opt (fun m -> m.Mutate.m_id = id) (Mutate.builtin_mutants ())
+
+let sut_of_label label =
+  if label = "superglue" then Some Exec.Pristine
+  else
+    match String.index_opt label ':' with
+    | Some i when String.sub label 0 i = "mutant" ->
+        let id = String.sub label (i + 1) (String.length label - i - 1) in
+        Option.map (fun m -> Exec.Mutant m) (find_mutant id)
+    | _ -> None
+
+(* ---------- campaign ---------- *)
+
+type run_report = {
+  rr_seed : int;
+  rr_scenario : Exec.scenario;
+  rr_result : (Exec.outcome, string) result;
+      (** [Error] is a mutant compile error — a trivially detected
+          mutant, not a runnable scenario *)
+}
+
+let run_seed ?(sut = Exec.Pristine) ?(profile = default_profile) seed =
+  let sc = scenario_of_seed ~profile seed in
+  let result =
+    match Exec.run ~sut sc with
+    | o -> Ok o
+    | exception Compiler.Compile_error ds -> Error (Compiler.error_to_string ds)
+  in
+  { rr_seed = seed; rr_scenario = sc; rr_result = result }
+
+let report_failed r =
+  match r.rr_result with
+  | Error _ -> true
+  | Ok o -> Exec.verdict_class o.Exec.oc_verdict <> "pass"
+
+(* first failing seed in [seed, seed+count), with the scenario and
+   outcome; mutant-hunting loops use the focus profile of the mutated
+   interface *)
+let find_failure ?(sut = Exec.Pristine) ?(profile = default_profile) ~seed
+    ~count () =
+  let rec go i =
+    if i >= count then None
+    else
+      let r = run_seed ~sut ~profile (seed + i) in
+      if report_failed r then Some r else go (i + 1)
+  in
+  go 0
+
+let shrink_to_artifact ?(jobs = 1) ?(sut = Exec.Pristine) sc =
+  let minimal, cls, stats = Shrink.shrink ~jobs ~sut sc in
+  ( {
+      Artifact.af_sut = Exec.sut_label sut;
+      af_verdict = cls;
+      af_scenario = minimal;
+    },
+    stats )
+
+(* replay an artifact: rerun its scenario against its recorded sut and
+   report whether the recorded verdict class reproduced *)
+let replay artifact =
+  match sut_of_label artifact.Artifact.af_sut with
+  | None ->
+      Error
+        (Printf.sprintf "unknown sut %S in artifact" artifact.Artifact.af_sut)
+  | Some sut -> (
+      match Exec.run ~sut artifact.Artifact.af_scenario with
+      | o ->
+          let cls = Exec.verdict_class o.Exec.oc_verdict in
+          Ok (o, cls = artifact.Artifact.af_verdict)
+      | exception Compiler.Compile_error ds ->
+          Error (Compiler.error_to_string ds))

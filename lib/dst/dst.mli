@@ -1,0 +1,60 @@
+(** DST campaign driver (DESIGN.md §3.9): seeds to scenarios to
+    verdicts to artifacts.
+
+    One integer seed determines the whole scenario. The master
+    {!Sg_util.Rng.t} is split into independent workload and plan
+    streams, so for a given seed the generated op sequence is stable
+    under plan-configuration changes and vice versa. Campaigns are
+    embarrassingly parallel across seeds and bit-reproducible. *)
+
+type profile = {
+  pf_mix : Gen.mix;  (** op-mix weights for generated sequences *)
+  pf_plan : Plan.config;  (** injection-plan weights *)
+  pf_len : int;  (** ops per generated sequence *)
+  pf_classic_every : int;
+      (** seeds divisible by this run a {!Exec.Classic} (paper §V-B)
+          workload variant instead of a generated sequence; 0 = never *)
+  pf_classic_iface : string option;
+      (** pin classic variants to one service; [None] draws one *)
+}
+
+val default_profile : profile
+val focus_profile : string -> profile
+(** Concentrated on one service — what mutant hunts use. *)
+
+val scenario_of_seed : ?profile:profile -> int -> Exec.scenario
+
+val find_mutant : string -> Sg_analysis.Mutate.mutant option
+(** Look up a builtin mutant by its ["iface/operator/N"] id. *)
+
+val sut_of_label : string -> Exec.sut option
+(** Inverse of {!Exec.sut_label}: ["superglue"] or ["mutant:<id>"]. *)
+
+type run_report = {
+  rr_seed : int;
+  rr_scenario : Exec.scenario;
+  rr_result : (Exec.outcome, string) result;
+      (** [Error msg] is a mutant compile error: detected trivially,
+          before any scenario ran *)
+}
+
+val run_seed : ?sut:Exec.sut -> ?profile:profile -> int -> run_report
+val report_failed : run_report -> bool
+
+val find_failure :
+  ?sut:Exec.sut ->
+  ?profile:profile ->
+  seed:int ->
+  count:int ->
+  unit ->
+  run_report option
+(** First failing seed in [\[seed, seed+count)], if any. *)
+
+val shrink_to_artifact :
+  ?jobs:int -> ?sut:Exec.sut -> Exec.scenario -> Artifact.t * Shrink.stats
+(** Shrink a failing scenario and package the minimum as an artifact. *)
+
+val replay : Artifact.t -> (Exec.outcome * bool, string) result
+(** Rerun an artifact's scenario against its recorded sut. [Ok (o, b)]:
+    the outcome and whether its verdict class matches the recorded one.
+    [Error]: unknown sut or mutant compile error. *)

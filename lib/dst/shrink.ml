@@ -1,0 +1,127 @@
+(* Scenario shrinking: fixpoint of single-element removals.
+
+   A candidate is the scenario with exactly one op removed, one fault
+   removed, or (Classic workloads) one shape knob decremented. Each
+   sweep evaluates candidates in index order and commits the
+   lowest-index one that still fails with the SAME verdict class; the
+   loop ends when no candidate does. The result is 1-minimal by
+   construction: every single removal was tried against the final
+   scenario and made it pass (or fail differently).
+
+   Parallel mode evaluates candidates in blocks across OCaml domains
+   but still commits the lowest failing index of the earliest block
+   containing one — the committed chain of scenarios is identical at
+   every [jobs], so a shrunk artifact is byte-for-byte reproducible
+   regardless of parallelism. *)
+
+type stats = {
+  sh_sweeps : int;  (** committed removals + the final fruitless sweep *)
+  sh_evals : int;  (** scenario executions performed *)
+  sh_removed : int;  (** elements removed from the original scenario *)
+}
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let size sc =
+  List.length sc.Exec.sc_plan
+  +
+  match sc.Exec.sc_workload with
+  | Exec.Ops ops -> List.length ops
+  | Exec.Classic { iters; knob; _ } -> iters + knob
+
+(* candidates in a fixed order: workload reductions first (they shrink
+   the expensive part fastest), then plan reductions *)
+let candidates sc =
+  let workload_cands =
+    match sc.Exec.sc_workload with
+    | Exec.Ops ops ->
+        List.init (List.length ops) (fun i ->
+            { sc with Exec.sc_workload = Exec.Ops (remove_nth i ops) })
+    | Exec.Classic { iface; iters; knob } ->
+        (if iters > 1 then
+           [ { sc with Exec.sc_workload = Exec.Classic { iface; iters = iters - 1; knob } } ]
+         else [])
+        @
+        if knob > 1 then
+          [ { sc with Exec.sc_workload = Exec.Classic { iface; iters; knob = knob - 1 } } ]
+        else []
+  in
+  let plan_cands =
+    List.init (List.length sc.Exec.sc_plan) (fun i ->
+        { sc with Exec.sc_plan = remove_nth i sc.Exec.sc_plan })
+  in
+  workload_cands @ plan_cands
+
+let fails ~sut ~cls sc =
+  match Exec.run ~sut sc with
+  | o -> Exec.verdict_class o.Exec.oc_verdict = cls
+  | exception _ -> false
+
+(* evaluate arr.(lo .. hi-1), in parallel when jobs > 1; deterministic
+   because each candidate's verdict is independent of the others *)
+let eval_range ~jobs ~sut ~cls ~evals arr lo hi =
+  let results = Array.make (hi - lo) false in
+  let n = hi - lo in
+  evals := !evals + n;
+  if jobs <= 1 || n <= 1 then
+    for i = lo to hi - 1 do
+      results.(i - lo) <- fails ~sut ~cls arr.(i)
+    done
+  else begin
+    let next = Atomic.make lo in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < hi then begin
+          results.(i - lo) <- fails ~sut ~cls arr.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join doms
+  end;
+  results
+
+(* lowest-index failing candidate, scanning block-wise so a hit near the
+   front doesn't cost a full sweep of executions *)
+let find_failing ~jobs ~sut ~cls ~evals cands =
+  let arr = Array.of_list cands in
+  let n = Array.length arr in
+  let block = max 1 (jobs * 2) in
+  let rec scan lo =
+    if lo >= n then None
+    else
+      let hi = min n (lo + block) in
+      let results = eval_range ~jobs ~sut ~cls ~evals arr lo hi in
+      let rec first i =
+        if i >= hi - lo then None
+        else if results.(i) then Some arr.(lo + i)
+        else first (i + 1)
+      in
+      match first 0 with Some sc -> Some sc | None -> scan hi
+  in
+  scan 0
+
+let shrink ?(jobs = 1) ?(sut = Exec.Pristine) sc =
+  (* the reference run doubles as the warm-up: compiler and interpreter
+     caches fill in this domain before any Domain.spawn *)
+  let reference = Exec.run ~sut sc in
+  let cls = Exec.verdict_class reference.Exec.oc_verdict in
+  if cls = "pass" then
+    invalid_arg "Shrink.shrink: scenario passes, nothing to shrink";
+  let evals = ref 1 in
+  let sweeps = ref 0 in
+  let rec fixpoint sc =
+    incr sweeps;
+    match find_failing ~jobs ~sut ~cls ~evals (candidates sc) with
+    | Some smaller -> fixpoint smaller
+    | None -> sc
+  in
+  let final = fixpoint sc in
+  ( final,
+    cls,
+    { sh_sweeps = !sweeps; sh_evals = !evals; sh_removed = size sc - size final }
+  )

@@ -193,9 +193,15 @@ let feed b (e : Event.t) =
         { tr_fn = fn; tr_reg = reg; tr_bit = bit; tr_outcome = outcome }
   | Event.Crash { cid; detector } ->
       (* a re-crash before the previous episode reached its first access
-         abandons it (incomplete) and starts a new one *)
+         abandons it (incomplete) and starts a new one; activities still
+         open (e.g. the walk the re-crash interrupted) were busy until
+         the second fault landed, so truncate them there instead of
+         leaving zero durations — otherwise a crash-during-recovery
+         double fault mis-attributes the interrupted walk *)
       (match Hashtbl.find_opt b.b_open cid with
-      | Some oe -> close b ~complete:false ~end_ns:0 oe
+      | Some oe ->
+          truncate_open oe ~end_ns:at;
+          close b ~complete:false ~end_ns:0 oe
       | None -> ());
       let oe =
         {
@@ -381,3 +387,13 @@ let max_complete_span_ns eps =
 
 let over_bound ~bound_ns eps =
   List.filter (fun ep -> ep.ep_complete && span_ns ep > bound_ns) eps
+
+let over_bound_by ~bound_of eps =
+  List.filter
+    (fun ep ->
+      ep.ep_complete
+      &&
+      match bound_of ep.ep_cid with
+      | Some b -> span_ns ep > b
+      | None -> false)
+    eps

@@ -75,6 +75,12 @@ val over_bound : bound_ns:int -> t list -> t list
     counterexamples a static recovery-latency bound must never see
     ([--verify-bounds]). *)
 
+val over_bound_by : bound_of:(int -> int option) -> t list -> t list
+(** Per-component variant: [bound_of cid] yields the static bound for
+    the crashed component (or [None] to skip it). The oracle adapter a
+    mixed-service campaign uses, where episodes of different services
+    are judged against different {!Sg_analysis.Wcr} bounds. *)
+
 (** {2 Stitching} *)
 
 type builder

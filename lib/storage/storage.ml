@@ -12,10 +12,21 @@ type t = {
   data : (string * int, (int * int * int * Sg_cbuf.Cbuf.id) list ref) Hashtbl.t;
       (** (seq, off, len, cbuf), newest first *)
   mutable seq : int;
+  mutable writes : int;  (** charged write operations so far *)
+  mutable write_faults : int list;  (** pending 1-based write indices, ascending *)
+  mutable write_faults_hit : int;
 }
 
 let create cbufs =
-  { _cbufs = cbufs; descs = Hashtbl.create 64; data = Hashtbl.create 64; seq = 0 }
+  {
+    _cbufs = cbufs;
+    descs = Hashtbl.create 64;
+    data = Hashtbl.create 64;
+    seq = 0;
+    writes = 0;
+    write_faults = [];
+    write_faults_hit = 0;
+  }
 
 let charge sim = Sim.charge sim (Sim.cost sim).Cost.storage_op_ns
 
@@ -25,8 +36,30 @@ let op sim name ~space ~id =
   charge sim;
   Sim.emit sim (Sg_obs.Event.Storage_op { op = name; space; id })
 
+let arm_write_faults t ~at =
+  t.write_faults <- List.sort_uniq compare (List.filter (fun n -> n > 0) at)
+
+let write_faults_hit t = t.write_faults_hit
+
+(* storage writes are the redundancy path itself, so a fault here is
+   modeled as detected-and-retried: the medium rejects the write once,
+   the component pays a second operation charge and the retry succeeds.
+   Semantics are unchanged (the trusted store stays correct, paper
+   §II-E); only the timing and the event stream show the fault. *)
+let write_fault_point t sim name =
+  t.writes <- t.writes + 1;
+  match t.write_faults with
+  | n :: rest when n = t.writes ->
+      t.write_faults <- rest;
+      t.write_faults_hit <- t.write_faults_hit + 1;
+      charge sim;
+      Sim.emit sim
+        (Sg_obs.Event.Note { name = "storage-write-fault"; data = name })
+  | _ -> ()
+
 let register_desc t sim ~space ~id ~creator ~meta =
   op sim "register_desc" ~space ~id;
+  write_fault_point t sim "register_desc";
   Hashtbl.replace t.descs (space, id) { dr_creator = creator; dr_meta = meta }
 
 let lookup_desc t sim ~space ~id =
@@ -47,6 +80,7 @@ let descs_in t ~space =
 
 let put_slice t sim ~space ~id ~off ~len ~cbuf =
   op sim "put_slice" ~space ~id;
+  write_fault_point t sim "put_slice";
   let key = (space, id) in
   let cell =
     match Hashtbl.find_opt t.data key with

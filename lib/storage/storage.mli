@@ -49,3 +49,21 @@ val slices :
 
 val drop_slices : t -> Sg_os.Sim.t -> space:string -> id:int -> unit
 val slice_count : t -> int
+
+(** {1 Write-fault injection (DST)}
+
+    The DST campaign layer injects transient faults into the redundancy
+    path itself. A faulted write is detected by the (trusted) medium and
+    retried: the writing component pays one extra operation charge and a
+    ["storage-write-fault"] {!Sg_obs.Event.Note} is emitted, but the
+    stored state stays correct — the store is trusted and never corrupted
+    (paper §II-E), so the fault perturbs timing and interleaving only. *)
+
+val arm_write_faults : t -> at:int list -> unit
+(** Fault the [n]-th charged write operation ([register_desc] or
+    [put_slice]; 1-based, counted from storage creation) for each [n] in
+    [at]. Replaces any previously armed set; non-positive indices are
+    ignored. *)
+
+val write_faults_hit : t -> int
+(** Armed write faults that have fired so far. *)

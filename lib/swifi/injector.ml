@@ -63,6 +63,50 @@ let outcome_to_string = function
   | O_propagated -> "propagated"
   | O_hang -> "hang"
 
+(* The flip itself, factored out so plan-driven campaigns (Sg_dst) can
+   apply a *chosen* (reg, bit, at) flip at a chosen dispatch instead of
+   drawing one — same register-file mutation, same classification, same
+   [Inject] event, same fault exceptions. [record] runs after
+   classification and before any exception, mirroring the periodic
+   hook's bump-then-raise order. [cmon_slack] is forced lazily, only on
+   the Hang path, so the periodic injector's Rng draw order is
+   untouched. *)
+let apply_flip sim ~cid ~fn ~reg ~bit ~at ?cmon ~record () =
+  match Sim.usage_of sim cid fn with
+  | None -> ()
+  | Some usage ->
+      let tcb = Sim.current_tcb sim in
+      Regfile.flip_bit tcb.Ktcb.regs reg bit;
+      let verdict = Usage.classify usage ~reg ~bit ~at in
+      let outcome = outcome_of_verdict verdict in
+      record outcome;
+      Sim.emit sim
+        (Sg_obs.Event.Inject
+           {
+             cid;
+             fn;
+             reg = Reg.to_string reg;
+             bit;
+             outcome = outcome_to_string outcome;
+           });
+      (match verdict with
+      | Usage.Undetected -> ()
+      | Usage.Failstop detector ->
+          Sim.mark_failed sim cid ~detector;
+          raise (Comp.Crash { cid; detector })
+      | Usage.Segfault -> raise (Comp.Sys_segfault { cid })
+      | Usage.Propagated -> raise (Comp.Sys_propagated { cid })
+      | Usage.Hang -> (
+          match cmon with
+          | None -> raise (Comp.Sys_hang { cid })
+          | Some cmon_slack ->
+              (* the thread spins until the execution-time budget is
+                 overrun and the monitor's next sample catches it *)
+              let budget = 2 * Usage.duration_ns usage in
+              Sim.charge sim (budget + cmon_slack ());
+              Sim.mark_failed sim cid ~detector:"cmon-latent";
+              raise (Comp.Crash { cid; detector = "cmon-latent" })))
+
 let hook t sim cid fn =
   if
     cid = t.target
@@ -79,39 +123,18 @@ let hook t sim cid fn =
         let reg = Rng.choose t.rng Reg.all in
         let bit = Rng.int t.rng 32 in
         let at = Rng.int t.rng (Usage.duration_ns usage + 1) in
-        let tcb = Sim.current_tcb sim in
-        Regfile.flip_bit tcb.Ktcb.regs reg bit;
-        let verdict = Usage.classify usage ~reg ~bit ~at in
-        let outcome = outcome_of_verdict verdict in
-        bump t outcome;
-        t.log <-
-          { ev_at_ns = Sim.now sim; ev_fn = fn; ev_reg = reg; ev_bit = bit; ev_outcome = outcome }
-          :: t.log;
-        Sim.emit sim
-          (Sg_obs.Event.Inject
-             {
-               cid;
-               fn;
-               reg = Reg.to_string reg;
-               bit;
-               outcome = outcome_to_string outcome;
-             });
-        (match verdict with
-        | Usage.Undetected -> ()
-        | Usage.Failstop detector ->
-            Sim.mark_failed sim cid ~detector;
-            raise (Comp.Crash { cid; detector })
-        | Usage.Segfault -> raise (Comp.Sys_segfault { cid })
-        | Usage.Propagated -> raise (Comp.Sys_propagated { cid })
-        | Usage.Hang -> (
-            match t.cmon_period_ns with
-            | None -> raise (Comp.Sys_hang { cid })
-            | Some monitor_period ->
-                (* the thread spins until the execution-time budget is
-                   overrun and the monitor's next sample catches it *)
-                let budget = 2 * Usage.duration_ns usage in
-                Sim.charge sim (budget + Rng.int t.rng monitor_period);
-                Sim.mark_failed sim cid ~detector:"cmon-latent";
-                raise (Comp.Crash { cid; detector = "cmon-latent" })))
+        let cmon =
+          Option.map
+            (fun monitor_period () -> Rng.int t.rng monitor_period)
+            t.cmon_period_ns
+        in
+        let record outcome =
+          bump t outcome;
+          t.log <-
+            { ev_at_ns = Sim.now sim; ev_fn = fn; ev_reg = reg; ev_bit = bit;
+              ev_outcome = outcome }
+            :: t.log
+        in
+        apply_flip sim ~cid ~fn ~reg ~bit ~at ?cmon ~record ()
 
 let install sim t = Sim.set_on_dispatch sim (Some (fun sim cid fn -> hook t sim cid fn))

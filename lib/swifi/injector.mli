@@ -45,6 +45,28 @@ val create :
 val install : Sg_os.Sim.t -> t -> unit
 (** Arm the injector as the simulator's dispatch hook. *)
 
+val apply_flip :
+  Sg_os.Sim.t ->
+  cid:Sg_os.Comp.cid ->
+  fn:string ->
+  reg:Sg_kernel.Reg.t ->
+  bit:int ->
+  at:int ->
+  ?cmon:(unit -> int) ->
+  record:(outcome -> unit) ->
+  unit ->
+  unit
+(** Apply one *chosen* register bit-flip at the current dispatch — the
+    plan-driven entry point ({!Sg_dst}). Flips [bit] of [reg] in the
+    executing thread's register file, classifies the consequence against
+    the operation's usage schedule at offset [at], calls [record] with
+    the outcome, emits the {!Sg_obs.Event.Inject} event and then raises
+    the fault exception the classification demands (nothing for
+    [O_undetected]). [cmon], when given, models the latent-fault monitor
+    exactly as {!create}'s [cmon_period_ns]: a hang is converted to a
+    detected fail-stop after the budget overrun plus the slack the thunk
+    returns. No-op when the operation has no usage schedule. *)
+
 val hook : t -> Sg_os.Sim.t -> Sg_os.Comp.cid -> string -> unit
 (** The raw hook, for composing with other dispatch instrumentation. *)
 

@@ -1,0 +1,405 @@
+(* Tests for the DST campaign layer (lib/dst): seed determinism,
+   mutant detection, shrinker soundness and 1-minimality, double-fault
+   episode stitching, and artifact round-trips. *)
+
+module Gen = Sg_dst.Gen
+module Plan = Sg_dst.Plan
+module Exec = Sg_dst.Exec
+module Shrink = Sg_dst.Shrink
+module Artifact = Sg_dst.Artifact
+module Dst = Sg_dst.Dst
+module Rng = Sg_util.Rng
+module Episode = Sg_obs.Episode
+module Profile = Sg_obs.Profile
+module Json = Sg_analysis.Json
+
+let scenario_label (sc : Exec.scenario) =
+  Artifact.to_string
+    { Artifact.af_sut = "superglue"; af_verdict = "pass"; af_scenario = sc }
+
+(* ------------------------------------------------------------------ *)
+(* Seed determinism                                                    *)
+
+let test_scenario_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Dst.scenario_of_seed seed and b = Dst.scenario_of_seed seed in
+      Alcotest.(check string) "same seed, same scenario" (scenario_label a)
+        (scenario_label b))
+    [ 1; 2; 5; 17; 100; 12345 ]
+
+let test_verdict_deterministic () =
+  let sc = Dst.scenario_of_seed 3 in
+  let a = Exec.run sc and b = Exec.run sc in
+  Alcotest.(check string) "same verdict class"
+    (Exec.verdict_class a.Exec.oc_verdict)
+    (Exec.verdict_class b.Exec.oc_verdict);
+  Alcotest.(check int) "same event count" a.Exec.oc_events b.Exec.oc_events
+
+let prop_seed_determinism =
+  QCheck.Test.make ~count:25 ~name:"dst_seed_determinism"
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let a = Dst.scenario_of_seed seed and b = Dst.scenario_of_seed seed in
+      scenario_label a = scenario_label b)
+
+(* Running the same generated scenario twice must agree on everything
+   the oracle looks at, not just the verdict class. *)
+let prop_run_determinism =
+  QCheck.Test.make ~count:8 ~name:"dst_run_determinism"
+    QCheck.(int_range 1 400)
+    (fun seed ->
+      let sc = Dst.scenario_of_seed seed in
+      let a = Exec.run sc and b = Exec.run sc in
+      Exec.verdict_class a.Exec.oc_verdict
+      = Exec.verdict_class b.Exec.oc_verdict
+      && a.Exec.oc_events = b.Exec.oc_events
+      && a.Exec.oc_storage_faults = b.Exec.oc_storage_faults)
+
+(* The plan stream is split from the master before the workload stream
+   draws, so the op sequence for a seed must not depend on the plan
+   configuration. *)
+let test_streams_independent () =
+  let profile = Dst.default_profile in
+  let quiet =
+    {
+      profile with
+      Dst.pf_plan =
+        {
+          profile.Dst.pf_plan with
+          Plan.pc_flip = 0;
+          pc_storage = 0;
+          pc_crash = 0;
+          pc_double = 0;
+        };
+    }
+  in
+  List.iter
+    (fun seed ->
+      let a = Dst.scenario_of_seed ~profile seed in
+      let b = Dst.scenario_of_seed ~profile:quiet seed in
+      Alcotest.(check bool) "plan config does not perturb ops" true
+        (a.Exec.sc_workload = b.Exec.sc_workload);
+      Alcotest.(check (list string)) "quiet plan is empty" []
+        (List.map Plan.fault_label b.Exec.sc_plan))
+    [ 1; 7; 23 ]
+
+(* ------------------------------------------------------------------ *)
+(* Generator output shape                                              *)
+
+let test_gen_respects_mix () =
+  let rng = Rng.create 9 in
+  let mix = { Gen.default_mix with Gen.mx_restart = 0; mx_fs = 0 } in
+  let ops = Gen.generate ~mix rng ~len:200 in
+  Alcotest.(check int) "generated length" 200 (List.length ops);
+  List.iter
+    (fun op ->
+      match op with
+      | Gen.Restart _ -> Alcotest.fail "restart generated at weight 0"
+      | Gen.Fs_open _ | Gen.Fs_write _ | Gen.Fs_read _ | Gen.Fs_close _ ->
+          Alcotest.fail "fs op generated at weight 0"
+      | _ -> ())
+    ops
+
+let test_gen_json_roundtrip () =
+  let rng = Rng.create 31 in
+  let ops = Gen.generate ~mix:Gen.default_mix rng ~len:50 in
+  List.iter
+    (fun op ->
+      let op' = Gen.op_of_json (Gen.op_to_json op) in
+      Alcotest.(check string) "op json roundtrip" (Gen.op_label op)
+        (Gen.op_label op');
+      Alcotest.(check bool) "op structural roundtrip" true (op = op'))
+    ops
+
+let test_plan_json_roundtrip () =
+  let rng = Rng.create 77 in
+  let plan =
+    Plan.generate ~config:Plan.default_config
+      ~services:[ "sched"; "fs"; "evt" ] rng
+  in
+  List.iter
+    (fun f ->
+      let f' = Plan.fault_of_json (Plan.fault_to_json f) in
+      Alcotest.(check bool) "fault json roundtrip" true (f = f'))
+    plan
+
+(* ------------------------------------------------------------------ *)
+(* Pristine campaign: fixed seed window is clean                       *)
+
+let test_pristine_clean () =
+  match Dst.find_failure ~seed:1 ~count:10 () with
+  | None -> ()
+  | Some r ->
+      Alcotest.failf "pristine seed %d failed: %s" r.Dst.rr_seed
+        (match r.Dst.rr_result with
+        | Error m -> m
+        | Ok o ->
+            String.concat " | " (Exec.verdict_detail o.Exec.oc_verdict))
+
+(* ------------------------------------------------------------------ *)
+(* Mutant detection campaign + shrinker soundness + 1-minimality       *)
+
+(* Runtime-detectable builtin mutants with the first failing seed of
+   their focus-profile campaign (seeds 1..60), from the detectability
+   scan. Compile-error mutants (every <iface>/drop-retval/0) are
+   trivially detected before a scenario runs and are checked
+   separately. *)
+let detected_mutants =
+  [
+    ("sched/drop-transition/0", 42, "fatal");
+    ("sched/drop-transition/1", 3, "fatal");
+    ("sched/swap-block-kind/0", 1, "fatal");
+    ("sched/untrack-field/0", 1, "fatal");
+    ("mm/drop-terminal/0", 1, "postcond");
+    ("mm/untrack-field/0", 1, "postcond");
+    ("fs/untrack-field/0", 3, "fatal");
+    ("lock/drop-transition/0", 6, "postcond");
+    ("lock/swap-hold-kind/0", 6, "postcond");
+    ("evt/untrack-field/0", 1, "fatal");
+    ("evt/untrack-field/1", 1, "fatal");
+    ("evt/creation-on-terminal/0", 1, "fatal");
+    ("timer/untrack-field/0", 1, "fatal");
+  ]
+
+let mutant_of_id id =
+  match Dst.find_mutant id with
+  | Some m -> m
+  | None -> Alcotest.failf "unknown builtin mutant %s" id
+
+let test_mutants_detected () =
+  List.iter
+    (fun (id, seed, cls) ->
+      let m = mutant_of_id id in
+      let sut = Exec.Mutant m in
+      let profile = Dst.focus_profile m.Sg_analysis.Mutate.m_iface in
+      let r = Dst.run_seed ~sut ~profile seed in
+      if not (Dst.report_failed r) then
+        Alcotest.failf "%s: seed %d no longer fails" id seed;
+      match r.Dst.rr_result with
+      | Error m -> Alcotest.failf "%s: unexpected compile error: %s" id m
+      | Ok o ->
+          Alcotest.(check string)
+            (id ^ " verdict class") cls
+            (Exec.verdict_class o.Exec.oc_verdict))
+    detected_mutants
+
+let test_compile_error_mutants_detected () =
+  List.iter
+    (fun iface ->
+      let id = iface ^ "/drop-retval/0" in
+      let r = Dst.run_seed ~sut:(Exec.Mutant (mutant_of_id id)) 1 in
+      (match r.Dst.rr_result with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: expected a compile error" id);
+      Alcotest.(check bool) (id ^ " detected") true (Dst.report_failed r))
+    [ "mm"; "fs"; "lock"; "evt"; "timer" ]
+
+(* For each detected mutant: shrink the failing scenario, then check
+   (a) soundness: the shrunk scenario still fails with the same class,
+   (b) 1-minimality: no single-removal candidate of the shrunk scenario
+       still fails with that class,
+   (c) replay: the artifact round-trips byte-identically and replaying
+       it reproduces the verdict class. *)
+let test_shrunk_minimal_and_replayable () =
+  List.iter
+    (fun (id, seed, _cls) ->
+      let m = mutant_of_id id in
+      let sut = Exec.Mutant m in
+      let profile = Dst.focus_profile m.Sg_analysis.Mutate.m_iface in
+      let sc = Dst.scenario_of_seed ~profile seed in
+      let art, _stats = Dst.shrink_to_artifact ~sut sc in
+      let shrunk = art.Artifact.af_scenario in
+      let cls = art.Artifact.af_verdict in
+      if not (Shrink.fails ~sut ~cls shrunk) then
+        Alcotest.failf "%s: shrunk scenario no longer fails (%s)" id cls;
+      List.iteri
+        (fun i cand ->
+          if Shrink.fails ~sut ~cls cand then
+            Alcotest.failf "%s: not 1-minimal (candidate %d still %s)" id i
+              cls)
+        (Shrink.candidates shrunk);
+      let s = Artifact.to_string art in
+      Alcotest.(check string)
+        (id ^ " artifact byte roundtrip") s
+        (Artifact.to_string (Artifact.of_string s));
+      match Dst.replay art with
+      | Error e -> Alcotest.failf "%s: replay error: %s" id e
+      | Ok (_, matches) ->
+          Alcotest.(check bool) (id ^ " replay matches") true matches)
+    detected_mutants
+
+(* ------------------------------------------------------------------ *)
+(* Shrink determinism across parallelism levels                        *)
+
+let test_shrink_jobs_identical () =
+  let id, seed = ("mm/drop-terminal/0", 1) in
+  let m = mutant_of_id id in
+  let sut = Exec.Mutant m in
+  let profile = Dst.focus_profile m.Sg_analysis.Mutate.m_iface in
+  let sc = Dst.scenario_of_seed ~profile seed in
+  let art1, _ = Dst.shrink_to_artifact ~jobs:1 ~sut sc in
+  let art2, _ = Dst.shrink_to_artifact ~jobs:2 ~sut sc in
+  Alcotest.(check string) "identical artifact at -j 1 and -j 2"
+    (Artifact.to_string art1) (Artifact.to_string art2)
+
+(* ------------------------------------------------------------------ *)
+(* Double-fault episode stitching                                      *)
+
+(* A plan whose Double fault lands the second crash mid-recovery: the
+   stitcher must attribute the nested episode without losing time
+   (phases sum exactly to span) and without tripping the static bound
+   oracle. Scenario: the classic evt workload under a Double — the
+   same shape that exposed the stale-epoch walk bug in Cstub. *)
+let double_fault_scenario =
+  {
+    Exec.sc_seed = 24;
+    sc_workload = Exec.Classic { iface = "evt"; iters = 3; knob = 2 };
+    sc_plan =
+      [
+        Plan.Double { db_service = "evt"; db_nth = 5; db_gap = 2 };
+        Plan.Crash { cr_service = "evt"; cr_nth = 14 };
+      ];
+  }
+
+let test_double_fault_run () =
+  let o = Exec.run double_fault_scenario in
+  Alcotest.(check string) "tolerated double fault" "pass"
+    (Exec.verdict_class o.Exec.oc_verdict);
+  let crashes =
+    List.length (List.filter (fun (e : Episode.t) -> e.Episode.ep_seq >= 0)
+                   o.Exec.oc_episodes)
+  in
+  if crashes < 3 then
+    Alcotest.failf "expected >= 3 stitched episodes, got %d" crashes
+
+let test_double_fault_phases_sum () =
+  let o = Exec.run double_fault_scenario in
+  List.iter
+    (fun (ep : Episode.t) ->
+      let ph = Profile.phases ep in
+      Alcotest.(check int)
+        (Printf.sprintf "episode @%d phases sum to span" ep.Episode.ep_seq)
+        (Episode.span_ns ep) (Profile.phases_total ph))
+    o.Exec.oc_episodes
+
+let test_double_fault_no_false_over_bound () =
+  let o = Exec.run double_fault_scenario in
+  (* judge with a per-component bound map the way the oracle does: a
+     nested episode must not be mis-attributed into exceeding the
+     static bound *)
+  let bound_of _cid = Some max_int in
+  Alcotest.(check int) "no over-bound episodes" 0
+    (List.length (Episode.over_bound_by ~bound_of o.Exec.oc_episodes));
+  (* complete episodes must exist for the bound check to be meaningful *)
+  let complete =
+    List.filter (fun (e : Episode.t) -> e.Episode.ep_complete)
+      o.Exec.oc_episodes
+  in
+  if complete = [] then Alcotest.fail "no complete episode stitched"
+
+(* ------------------------------------------------------------------ *)
+(* Artifact format                                                     *)
+
+let test_artifact_fields () =
+  let sc = Dst.scenario_of_seed 5 in
+  let art =
+    { Artifact.af_sut = "superglue"; af_verdict = "check"; af_scenario = sc }
+  in
+  let j = Artifact.to_json art in
+  Alcotest.(check string) "schema" "superglue-dst"
+    (match Json.member "schema" j with Some (Json.Str s) -> s | _ -> "");
+  Alcotest.(check bool) "version present" true
+    (Json.member "version" j <> None);
+  (* field order is part of the byte-identity contract *)
+  let s = Artifact.to_string art in
+  let idx sub =
+    match String.index_opt s '{' with
+    | None -> -1
+    | Some _ ->
+        let rec find i =
+          if i + String.length sub > String.length s then -1
+          else if String.sub s i (String.length sub) = sub then i
+          else find (i + 1)
+        in
+        find 0
+  in
+  let positions =
+    List.map idx
+      [ "\"schema\""; "\"version\""; "\"sut\""; "\"seed\""; "\"verdict\"";
+        "\"workload\""; "\"plan\"" ]
+  in
+  Alcotest.(check bool) "all fields present" true
+    (List.for_all (fun p -> p >= 0) positions);
+  Alcotest.(check bool) "fixed field order" true
+    (positions = List.sort compare positions)
+
+let test_artifact_save_load () =
+  let sc = Dst.scenario_of_seed 8 in
+  let art =
+    { Artifact.af_sut = "mutant:mm/drop-terminal/0";
+      af_verdict = "postcond";
+      af_scenario = sc }
+  in
+  let path = Filename.temp_file "sg_dst_art" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Artifact.save path art;
+      let art' = Artifact.load path in
+      Alcotest.(check string) "save/load byte-stable"
+        (Artifact.to_string art) (Artifact.to_string art'))
+
+let () =
+  Alcotest.run "dst"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "scenario of seed" `Quick
+            test_scenario_deterministic;
+          Alcotest.test_case "verdict of scenario" `Quick
+            test_verdict_deterministic;
+          Alcotest.test_case "plan/workload stream split" `Quick
+            test_streams_independent;
+          QCheck_alcotest.to_alcotest prop_seed_determinism;
+          QCheck_alcotest.to_alcotest prop_run_determinism;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "mix weights respected" `Quick
+            test_gen_respects_mix;
+          Alcotest.test_case "op json roundtrip" `Quick
+            test_gen_json_roundtrip;
+          Alcotest.test_case "plan json roundtrip" `Quick
+            test_plan_json_roundtrip;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "pristine seeds clean" `Slow test_pristine_clean;
+          Alcotest.test_case "mutants detected" `Slow test_mutants_detected;
+          Alcotest.test_case "compile-error mutants detected" `Quick
+            test_compile_error_mutants_detected;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "sound, 1-minimal, replayable" `Slow
+            test_shrunk_minimal_and_replayable;
+          Alcotest.test_case "jobs-independent artifact" `Slow
+            test_shrink_jobs_identical;
+        ] );
+      ( "double-fault",
+        [
+          Alcotest.test_case "tolerated and stitched" `Quick
+            test_double_fault_run;
+          Alcotest.test_case "phases sum to span" `Quick
+            test_double_fault_phases_sum;
+          Alcotest.test_case "no false over-bound" `Quick
+            test_double_fault_no_false_over_bound;
+        ] );
+      ( "artifact",
+        [
+          Alcotest.test_case "canonical fields and order" `Quick
+            test_artifact_fields;
+          Alcotest.test_case "save/load" `Quick test_artifact_save_load;
+        ] );
+    ]

@@ -19,6 +19,45 @@ let test_rng_split_independent () =
   let ys = List.init 8 (fun _ -> Rng.int64 c) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+(* The DST campaign layer splits one master generator into a workload
+   stream and a plan stream; its replay guarantee rests on the split
+   streams being (a) pinned functions of the master seed and (b)
+   insensitive to how many draws the sibling stream has consumed. Pin
+   the exact sequences so an accidental change to splitmix64 or to
+   [split] shows up as a test diff, not as silently divergent repros. *)
+let test_rng_split_pinned () =
+  let expect_a =
+    [ 0x57e1faba65107204L; 0xf4abd143feb24055L; 0x7c816738c12903b2L;
+      0x113e5dec6f8fd8a8L; 0xad4a599062fd1739L ]
+  and expect_b =
+    [ 0xfc991bca1a1aa1aeL; 0x4f0482a72b57ee7dL; 0x81ba563d55228ab4L;
+      0xaf53d69c4ec853d9L; 0x9541bf146980306aL ]
+  in
+  let master = Rng.create 42 in
+  let a = Rng.split master in
+  let b = Rng.split master in
+  List.iter
+    (fun v -> Alcotest.(check int64) "first split stream" v (Rng.int64 a))
+    expect_a;
+  List.iter
+    (fun v -> Alcotest.(check int64) "second split stream" v (Rng.int64 b))
+    expect_b;
+  (* draws on the first child must not perturb the second child *)
+  let master' = Rng.create 42 in
+  let a' = Rng.split master' in
+  ignore (Rng.int a' 1000);
+  ignore (Rng.int a' 1000);
+  ignore (Rng.bool a');
+  let b' = Rng.split master' in
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "sibling draws do not leak" v (Rng.int64 b'))
+    expect_b;
+  (* a different master seed moves every child stream *)
+  let c = Rng.split (Rng.create 43) in
+  Alcotest.(check bool) "seed reaches children" true
+    (Rng.int64 c <> List.hd expect_a)
+
 let test_rng_bounds () =
   let r = Rng.create 3 in
   for _ = 1 to 1000 do
@@ -120,6 +159,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split pinned streams" `Quick
+            test_rng_split_pinned;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "copy" `Quick test_rng_copy;
           QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;

@@ -114,4 +114,21 @@ echo "== bound cross-validation: no stitched episode exceeds the static bound"
 grep -q "violations=0" "$tmpdir/vb1.out"
 grep -q "violations=0" "$tmpdir/vb2.out"
 
+echo "== dst gate: fixed-seed campaign over all six services passes clean"
+./_build/default/bin/dst.exe run --seed 1 --count 10 -q > "$tmpdir/dst_run.out"
+grep -q "0 failure(s), services=6" "$tmpdir/dst_run.out"
+
+echo "== dst gate: a canned failing plan shrinks to a byte-identical repro at -j 1 and -j 2"
+# the mutant run exits 1 (failure found) by contract; capture rc under set -e
+rc=0
+./_build/default/bin/dst.exe run --mutant mm/drop-terminal/0 --count 5 \
+    --no-shrink --out "$tmpdir/dst_fail.json" -q > /dev/null || rc=$?
+[ "$rc" -eq 1 ]
+./_build/default/bin/dst.exe shrink --artifact "$tmpdir/dst_fail.json" \
+    --out "$tmpdir/dst_min_j1.json" -j 1 > /dev/null
+./_build/default/bin/dst.exe shrink --artifact "$tmpdir/dst_fail.json" \
+    --out "$tmpdir/dst_min_j2.json" -j 2 > /dev/null
+cmp "$tmpdir/dst_min_j1.json" "$tmpdir/dst_min_j2.json"
+./_build/default/bin/dst.exe replay "$tmpdir/dst_min_j1.json" > /dev/null
+
 echo "== tier-1 gate OK"
