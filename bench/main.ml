@@ -369,77 +369,115 @@ let sched_perf () =
       "}";
     ]
 
-let campaign_perf () =
-  hr "bench campaign: parallel SWIFI driver wall-clock vs -j 1";
-  let iface = "lock" and injections = if !quick then 40 else 300 in
+(* A campaign at the scale the driver is built for: a million
+   injections spread across all six services, swept over the -j list.
+   Three gates ride along: every jobs level must produce the exact
+   reference rows (determinism), and a final pass at max jobs streams
+   each chunk's stitched episodes through the static Wcr bound check
+   (--verify-bounds equivalent) which must come back clean. *)
+let campaign_scale () =
+  hr "bench campaign-scale: million-injection SWIFI campaign, all services";
   let mode = Superglue.Stubset.mode in
-  let measure jobs =
-    let chunks = ref 0 in
-    let row = ref None in
-    let (), s =
-      wall (fun () ->
-          row :=
-            Some
-              (Sg_swifi.Pardriver.run ~jobs ~mode ~iface ~injections
-                 ~collect_events:false ~episodes:true
-                 ~on_chunk:(fun ~seed:_ _ -> incr chunks)
-                 ()))
-    in
-    (Option.get !row, !chunks, s)
-  in
-  let results = List.map (fun j -> (j, measure j)) !jobs_list in
-  let _, (_, _, base_s) = List.hd results in
-  Printf.printf "%-6s %8s %10s %12s %10s\n" "jobs" "chunks" "wall s" "chunks/s"
-    "speedup";
+  let services = Workloads.all_ifaces in
+  let nsvc = List.length services in
+  let per_service = (if !quick then 60_000 else 1_000_000) / nsvc in
+  let injections_total = per_service * nsvc in
+  (* warm the process-wide compile caches outside the timed region *)
   List.iter
-    (fun (j, (row, chunks, s)) ->
-      ignore (row : Sg_swifi.Campaign.row);
-      Printf.printf "%-6d %8d %10.4f %12.1f %10.2fx\n" j chunks s
-        (float_of_int chunks /. s)
+    (fun i -> ignore (Superglue.Compiler.builtin i))
+    Superglue.Compiler.builtin_names;
+  let run_sweep jobs =
+    wall (fun () ->
+        List.map
+          (fun iface ->
+            Sg_swifi.Pardriver.run ~jobs ~mode ~iface ~injections:per_service
+              ~collect_events:false ())
+          services)
+  in
+  let results = List.map (fun j -> (j, run_sweep j)) !jobs_list in
+  let _, (ref_rows, base_s) = List.hd results in
+  Printf.printf "%-6s %12s %10s %14s %10s\n" "jobs" "injections" "wall s"
+    "injections/s" "speedup";
+  List.iter
+    (fun (j, (rows, s)) ->
+      (* determinism gate: per-service rows identical at every -j *)
+      assert (rows = ref_rows);
+      Printf.printf "%-6d %12d %10.3f %14.0f %10.2fx\n" j injections_total s
+        (float_of_int injections_total /. s)
         (base_s /. s))
     results;
-  (* determinism spot-check: all rows must agree with -j 1 — including
-     the stitched episode lists and the merged first-access histogram *)
-  let rows = List.map (fun (_, (row, _, _)) -> row) results in
-  List.iter
-    (fun r -> assert (r = List.hd rows))
-    rows;
-  (let eps = (List.hd rows).Sg_swifi.Campaign.r_episodes in
-   let s = Sg_obs.Profile.summarize eps in
-   Printf.printf "episodes: %d stitched, %d recovered to first access\n"
-     s.Sg_obs.Profile.ps_episodes s.Sg_obs.Profile.ps_complete;
-   match Sg_obs.Profile.mean_phases_ns eps with
-   | None -> ()
-   | Some p ->
-       Printf.printf
-         "mean phases: detect->reboot %d ns, reboot->walks %d ns, \
-          walks->access %d ns\n"
-         p.Sg_obs.Profile.ph_detect_reboot_ns
-         p.Sg_obs.Profile.ph_reboot_walks_ns
-         p.Sg_obs.Profile.ph_walks_access_ns);
+  (* bound-verification pass at max jobs: stream episodes chunk-by-chunk
+     through the static bound (constant memory even at this scale) *)
+  let vjobs = List.fold_left max 1 !jobs_list in
+  let wcr =
+    Sg_analysis.Wcr.analyze
+      (List.map Superglue.Compiler.builtin Superglue.Compiler.builtin_names)
+  in
+  let v_total = ref 0 and v_complete = ref 0 in
+  let v_max = ref 0 and v_viol = ref 0 in
+  let (), verify_s =
+    wall (fun () ->
+        List.iter
+          (fun iface ->
+            match
+              Sg_analysis.Wcr.bound_for wcr ~crashed:iface ~client:iface
+            with
+            | None -> failwith ("campaign-scale: no static bound for " ^ iface)
+            | Some bound_ns ->
+                ignore
+                  (Sg_swifi.Pardriver.run ~jobs:vjobs ~mode ~iface
+                     ~injections:per_service ~collect_events:false
+                     ~on_episodes:(fun ~seed:_ eps ->
+                       List.iter
+                         (fun e ->
+                           incr v_total;
+                           if e.Sg_obs.Episode.ep_complete then begin
+                             incr v_complete;
+                             let s = Sg_obs.Episode.span_ns e in
+                             if s > !v_max then v_max := s;
+                             if s > bound_ns then incr v_viol
+                           end)
+                         eps)
+                     ()))
+          services)
+  in
+  Printf.printf
+    "verify-bounds -j %d: episodes=%d complete=%d max_span=%dns \
+     violations=%d (%.1f s)\n"
+    vjobs !v_total !v_complete !v_max !v_viol verify_s;
+  assert (!v_viol = 0);
   let path = Option.value !out_path ~default:"BENCH_campaign.json" in
   write_json path
     ([
        "{";
-       Printf.sprintf "  \"bench\": \"campaign\",";
+       Printf.sprintf "  \"bench\": \"campaign-scale\",";
        Printf.sprintf "  \"quick\": %b," !quick;
-       Printf.sprintf "  \"iface\": \"%s\"," iface;
-       Printf.sprintf "  \"injections\": %d," injections;
+       Printf.sprintf "  \"services\": %d," nsvc;
+       Printf.sprintf "  \"injections_total\": %d," injections_total;
+       Printf.sprintf "  \"injections_per_service\": %d," per_service;
        Printf.sprintf "  \"host_cores\": %d,"
          (Domain.recommended_domain_count ());
        "  \"jobs\": [";
      ]
     @ (List.mapi
-         (fun i (j, (_, chunks, s)) ->
+         (fun i (j, (_, s)) ->
            Printf.sprintf
-             "    {\"j\": %d, \"chunks\": %d, \"wall_s\": %.6f, \
-              \"chunks_per_s\": %.1f, \"speedup_vs_j1\": %.3f}%s"
-             j chunks s
-             (float_of_int chunks /. s)
+             "    {\"j\": %d, \"wall_s\": %.6f, \"injections_per_s\": %.0f, \
+              \"speedup_vs_j1\": %.3f}%s"
+             j s
+             (float_of_int injections_total /. s)
              (base_s /. s)
              (if i = List.length results - 1 then "" else ","))
          results)
-    @ [ "  ]"; "}" ])
+    @ [
+        "  ],";
+        Printf.sprintf
+          "  \"verify_bounds\": {\"jobs\": %d, \"episodes\": %d, \
+           \"complete\": %d, \"max_span_ns\": %d, \"violations\": %d, \
+           \"wall_s\": %.3f}"
+          vjobs !v_total !v_complete !v_max !v_viol verify_s;
+        "}";
+      ])
 
 let all =
   [
@@ -452,10 +490,11 @@ let all =
     ("obs", obs);
     ("micro", micro);
     ("sched", sched_perf);
-    ("campaign", campaign_perf);
+    ("campaign-scale", campaign_scale);
   ]
 
 let () =
+  Sg_util.Pool.tune_gc ();
   let rec parse acc = function
     | [] -> List.rev acc
     | "--quick" :: rest ->

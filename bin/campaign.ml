@@ -133,41 +133,53 @@ let static_bound iface =
   let report = Sg_analysis.Wcr.analyze artifacts in
   Sg_analysis.Wcr.bound_for report ~crashed:iface ~client:iface
 
-let check_bounds ~iface row =
-  match static_bound iface with
-  | None ->
+(* Streaming bound check: fold each chunk's stitched episodes as they
+   merge (Pardriver [on_episodes], seed order) instead of retaining a
+   campaign-long episode list — a million-injection campaign
+   bound-checks in constant memory. Only the violations themselves are
+   kept, for the report. *)
+type bound_acc = {
+  mutable ba_total : int;
+  mutable ba_complete : int;
+  mutable ba_max_span : int;
+  mutable ba_violations : Sg_obs.Episode.t list;  (* reversed *)
+}
+
+let feed_bounds ~bound_ns acc eps =
+  List.iter
+    (fun e ->
+      acc.ba_total <- acc.ba_total + 1;
+      if e.Sg_obs.Episode.ep_complete then begin
+        acc.ba_complete <- acc.ba_complete + 1;
+        let s = Sg_obs.Episode.span_ns e in
+        if s > acc.ba_max_span then acc.ba_max_span <- s;
+        if s > bound_ns then acc.ba_violations <- e :: acc.ba_violations
+      end)
+    eps
+
+let report_bounds ~iface ~bound_ns acc =
+  let violations = List.rev acc.ba_violations in
+  if acc.ba_complete = 0 then
+    Printf.printf
+      "bound-check %s: episodes=%d complete=0 bound=%dns (no complete \
+       episode to check)\n"
+      iface acc.ba_total bound_ns
+  else
+    Printf.printf
+      "bound-check %s: episodes=%d complete=%d max_span=%dns bound=%dns \
+       tightness=%.2fx violations=%d\n"
+      iface acc.ba_total acc.ba_complete acc.ba_max_span bound_ns
+      (float_of_int bound_ns /. float_of_int acc.ba_max_span)
+      (List.length violations);
+  List.iter
+    (fun e ->
       Printf.printf
-        "bound-check %s: no static bound (interface unbounded or unknown)\n"
-        iface;
-      false
-  | Some bound_ns ->
-      let eps = row.Campaign.r_episodes in
-      let complete =
-        List.length (List.filter (fun e -> e.Sg_obs.Episode.ep_complete) eps)
-      in
-      let violations = Campaign.bound_violations ~bound_ns row in
-      (match Sg_obs.Episode.max_complete_span_ns eps with
-      | None ->
-          Printf.printf
-            "bound-check %s: episodes=%d complete=0 bound=%dns (no complete \
-             episode to check)\n"
-            iface (List.length eps) bound_ns
-      | Some max_span ->
-          Printf.printf
-            "bound-check %s: episodes=%d complete=%d max_span=%dns \
-             bound=%dns tightness=%.2fx violations=%d\n"
-            iface (List.length eps) complete max_span bound_ns
-            (float_of_int bound_ns /. float_of_int max_span)
-            (List.length violations));
-      List.iter
-        (fun e ->
-          Printf.printf
-            "bound-check %s: VIOLATION episode at %dns: span=%dns > bound=%dns\n"
-            iface e.Sg_obs.Episode.ep_detect_ns
-            (Sg_obs.Episode.span_ns e)
-            bound_ns)
-        violations;
-      violations <> []
+        "bound-check %s: VIOLATION episode at %dns: span=%dns > bound=%dns\n"
+        iface e.Sg_obs.Episode.ep_detect_ns
+        (Sg_obs.Episode.span_ns e)
+        bound_ns)
+    violations;
+  violations <> []
 
 let run mode iface injections seed cmon jobs trace profile verify_bounds =
   let cmon_period_ns = if cmon then Some 5_000 else None in
@@ -186,16 +198,37 @@ let run mode iface injections seed cmon jobs trace profile verify_bounds =
       let on_chunk = Option.map fst writer in
       match iface with
       | Some iface ->
+          let bound =
+            if verify_bounds then Some (static_bound iface) else None
+          in
+          let bacc =
+            { ba_total = 0; ba_complete = 0; ba_max_span = 0;
+              ba_violations = [] }
+          in
+          let on_episodes =
+            match bound with
+            | Some (Some bound_ns) ->
+                Some (fun ~seed:_ eps -> feed_bounds ~bound_ns bacc eps)
+            | _ -> None
+          in
           let row =
-            Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ?on_chunk ~jobs ~mode
-              ~iface ~injections
-              ~episodes:(profile || verify_bounds)
-              ()
+            Sg_swifi.Pardriver.run ~seed ?cmon_period_ns ?on_chunk ?on_episodes
+              ~jobs ~mode ~iface ~injections ~episodes:profile ()
           in
           Format.printf "%a@." Campaign.pp_row row;
           if profile then
             Format.printf "%a@?" Sg_obs.Profile.pp row.Campaign.r_episodes;
-          let violated = verify_bounds && check_bounds ~iface row in
+          let violated =
+            match bound with
+            | None -> false
+            | Some None ->
+                Printf.printf
+                  "bound-check %s: no static bound (interface unbounded or \
+                   unknown)\n"
+                  iface;
+                false
+            | Some (Some bound_ns) -> report_bounds ~iface ~bound_ns bacc
+          in
           Option.iter (fun (_, finish) -> finish ()) writer;
           if violated then exit 1
       | None ->
@@ -211,6 +244,7 @@ let run mode iface injections seed cmon jobs trace profile verify_bounds =
           else Sg_harness.Table2.print ~mode ~injections ~jobs ())
 
 let () =
+  Sg_util.Pool.tune_gc ();
   let term =
     Term.(
       const run $ mode_arg $ iface_arg $ injections_arg $ seed_arg $ cmon_arg

@@ -47,8 +47,10 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"J"
         ~doc:
-          "Shrink-candidate evaluation parallelism. The shrink result is \
-           identical at every value.")
+          "Campaign and shrink parallelism: seed scenarios and \
+           shrink candidates evaluate across $(docv) domains. Output is \
+           deterministic — the reports printed, the failing seed found \
+           and the shrunk artifact are identical at every value.")
 
 let no_shrink_arg =
   Arg.(
@@ -120,38 +122,39 @@ let run_cmd_fn seed count mutant out jobs no_shrink quiet =
       2
   | Some sut ->
       let services = Hashtbl.create 8 in
-      let failures = ref 0 in
       let ran = ref 0 in
-      (try
-         for i = 0 to count - 1 do
-           let r = Dst.run_seed ~sut ~profile (seed + i) in
-           incr ran;
-           List.iter
-             (fun s -> Hashtbl.replace services s ())
-             (Exec.services_of_workload r.Dst.rr_scenario.Exec.sc_workload);
-           let verdict_str =
-             match r.Dst.rr_result with
-             | Error _ -> "compile-error"
-             | Ok o -> Exec.verdict_class o.Exec.oc_verdict
-           in
-           if not quiet then
-             Printf.printf "seed %d %s plan=%d verdict=%s\n" r.Dst.rr_seed
-               (workload_label r.Dst.rr_scenario.Exec.sc_workload)
-               (List.length r.Dst.rr_scenario.Exec.sc_plan)
-               verdict_str;
-           if Dst.report_failed r then begin
-             incr failures;
-             (match r.Dst.rr_result with
-             | Ok o when not quiet -> print_detail o.Exec.oc_verdict
-             | _ -> ());
-             emit_artifact ~out ~jobs ~sut ~no_shrink r;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+      (* reports arrive in seed order regardless of --jobs, so the
+         printed log is byte-identical at every parallelism level *)
+      let on_report r =
+        incr ran;
+        List.iter
+          (fun s -> Hashtbl.replace services s ())
+          (Exec.services_of_workload r.Dst.rr_scenario.Exec.sc_workload);
+        let verdict_str =
+          match r.Dst.rr_result with
+          | Error _ -> "compile-error"
+          | Ok o -> Exec.verdict_class o.Exec.oc_verdict
+        in
+        if not quiet then
+          Printf.printf "seed %d %s plan=%d verdict=%s\n" r.Dst.rr_seed
+            (workload_label r.Dst.rr_scenario.Exec.sc_workload)
+            (List.length r.Dst.rr_scenario.Exec.sc_plan)
+            verdict_str
+      in
+      let failure = Dst.run_seeds ~sut ~profile ~jobs ~on_report ~seed ~count () in
+      let failures =
+        match failure with
+        | None -> 0
+        | Some r ->
+            (match r.Dst.rr_result with
+            | Ok o when not quiet -> print_detail o.Exec.oc_verdict
+            | _ -> ());
+            emit_artifact ~out ~jobs ~sut ~no_shrink r;
+            1
+      in
       Printf.printf "dst: %d seed(s), %d failure(s), services=%d, sut=%s\n"
-        !ran !failures (Hashtbl.length services) (Exec.sut_label sut);
-      if !failures > 0 then 1 else 0
+        !ran failures (Hashtbl.length services) (Exec.sut_label sut);
+      if failures > 0 then 1 else 0
 
 let shrink_cmd_fn artifact_path out jobs =
   let a = Artifact.load artifact_path in
@@ -232,6 +235,7 @@ let mutants_cmd =
     Term.(const mutants_cmd_fn $ const ())
 
 let () =
+  Sg_util.Pool.tune_gc ();
   let info =
     Cmd.info "superglue-dst" ~version:"1.0"
       ~doc:"Property-based DST campaigns with shrinking for SuperGlue."

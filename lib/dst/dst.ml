@@ -112,6 +112,47 @@ let find_failure ?(sut = Exec.Pristine) ?(profile = default_profile) ~seed
   in
   go 0
 
+(* Parallel campaign over a seed range: seeds are embarrassingly
+   parallel (one scenario = one fresh simulator), so they fan out
+   through the deterministic speculative pool. Reports are consumed in
+   seed order and the campaign stops at the first failing one — the
+   reports delivered, and the failing seed returned, are identical at
+   every [jobs]. The first seed runs in the calling domain before any
+   worker spawns: it warms the process-wide compile caches (builtin
+   artifacts, Wcr bounds, mutant sources), which are read-only
+   afterwards. *)
+let run_seeds ?(sut = Exec.Pristine) ?(profile = default_profile) ?(jobs = 1)
+    ?(on_report = fun (_ : run_report) -> ()) ~seed ~count () =
+  if count <= 0 then None
+  else begin
+    let first = run_seed ~sut ~profile seed in
+    on_report first;
+    if report_failed first then Some first
+    else if jobs <= 1 then
+      let rec go i =
+        if i >= count then None
+        else
+          let r = run_seed ~sut ~profile (seed + i) in
+          on_report r;
+          if report_failed r then Some r else go (i + 1)
+      in
+      go 1
+    else begin
+      let found = ref None in
+      Sg_util.Pool.run ~jobs ~count:(count - 1)
+        ~task:(fun ~cancelled:_ i -> run_seed ~sut ~profile (seed + 1 + i))
+        ~consume:(fun _ r ->
+          on_report r;
+          if report_failed r then begin
+            found := Some r;
+            Sg_util.Pool.Stop
+          end
+          else Sg_util.Pool.Continue)
+        ();
+      !found
+    end
+  end
+
 let shrink_to_artifact ?(jobs = 1) ?(sut = Exec.Pristine) sc =
   let minimal, cls, stats = Shrink.shrink ~jobs ~sut sc in
   ( {

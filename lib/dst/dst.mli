@@ -50,6 +50,24 @@ val find_failure :
   run_report option
 (** First failing seed in [\[seed, seed+count)], if any. *)
 
+val run_seeds :
+  ?sut:Exec.sut ->
+  ?profile:profile ->
+  ?jobs:int ->
+  ?on_report:(run_report -> unit) ->
+  seed:int ->
+  count:int ->
+  unit ->
+  run_report option
+(** Campaign over the seed range [\[seed, seed+count)], fanned across
+    [jobs] domains ({!Sg_util.Pool}). [on_report] is called in the
+    calling domain, in seed order, once per seed up to and including
+    the first failing one (which is also returned); later seeds may
+    execute speculatively but their reports are discarded. Both the
+    delivered report sequence and the returned failure are identical
+    at every [jobs] — [superglue-dst run --jobs N] output is
+    byte-identical to the sequential run. *)
+
 val shrink_to_artifact :
   ?jobs:int -> ?sut:Exec.sut -> Exec.scenario -> Artifact.t * Shrink.stats
 (** Shrink a failing scenario and package the minimum as an artifact. *)

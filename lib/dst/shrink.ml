@@ -8,15 +8,19 @@
    construction: every single removal was tried against the final
    scenario and made it pass (or fail differently).
 
-   Parallel mode evaluates candidates in blocks across OCaml domains
-   but still commits the lowest failing index of the earliest block
-   containing one — the committed chain of scenarios is identical at
-   every [jobs], so a shrunk artifact is byte-for-byte reproducible
+   Parallel mode fans candidate evaluation across OCaml domains through
+   the deterministic speculative pool ({!Sg_util.Pool}): verdicts are
+   consumed in candidate order and the sweep stops at the first failing
+   one, so the committed chain of scenarios is identical at every
+   [jobs] and a shrunk artifact is byte-for-byte reproducible
    regardless of parallelism. *)
 
 type stats = {
   sh_sweeps : int;  (** committed removals + the final fruitless sweep *)
-  sh_evals : int;  (** scenario executions performed *)
+  sh_evals : int;
+      (** candidate verdicts consumed (plus the reference run) — the
+          [jobs]-independent count; speculative evaluations discarded
+          past a sweep's commit point are not included *)
   sh_removed : int;  (** elements removed from the original scenario *)
 }
 
@@ -57,53 +61,26 @@ let fails ~sut ~cls sc =
   | o -> Exec.verdict_class o.Exec.oc_verdict = cls
   | exception _ -> false
 
-(* evaluate arr.(lo .. hi-1), in parallel when jobs > 1; deterministic
-   because each candidate's verdict is independent of the others *)
-let eval_range ~jobs ~sut ~cls ~evals arr lo hi =
-  let results = Array.make (hi - lo) false in
-  let n = hi - lo in
-  evals := !evals + n;
-  if jobs <= 1 || n <= 1 then
-    for i = lo to hi - 1 do
-      results.(i - lo) <- fails ~sut ~cls arr.(i)
-    done
-  else begin
-    let next = Atomic.make lo in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < hi then begin
-          results.(i - lo) <- fails ~sut ~cls arr.(i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let doms = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join doms
-  end;
-  results
-
-(* lowest-index failing candidate, scanning block-wise so a hit near the
-   front doesn't cost a full sweep of executions *)
+(* lowest-index failing candidate: candidates evaluate speculatively
+   across the pool's domains, verdicts are consumed in index order, and
+   the sweep stops at the first failure — so a hit near the front
+   doesn't cost a full sweep, and the committed candidate is the same
+   at every [jobs]. [evals] counts consumed verdicts, which keeps the
+   reported stats [jobs]-independent too. *)
 let find_failing ~jobs ~sut ~cls ~evals cands =
   let arr = Array.of_list cands in
-  let n = Array.length arr in
-  let block = max 1 (jobs * 2) in
-  let rec scan lo =
-    if lo >= n then None
-    else
-      let hi = min n (lo + block) in
-      let results = eval_range ~jobs ~sut ~cls ~evals arr lo hi in
-      let rec first i =
-        if i >= hi - lo then None
-        else if results.(i) then Some arr.(lo + i)
-        else first (i + 1)
-      in
-      match first 0 with Some sc -> Some sc | None -> scan hi
-  in
-  scan 0
+  let found = ref None in
+  Sg_util.Pool.run ~jobs ~count:(Array.length arr)
+    ~task:(fun ~cancelled:_ i -> fails ~sut ~cls arr.(i))
+    ~consume:(fun i failed ->
+      incr evals;
+      if failed then begin
+        found := Some arr.(i);
+        Sg_util.Pool.Stop
+      end
+      else Sg_util.Pool.Continue)
+    ();
+  !found
 
 let shrink ?(jobs = 1) ?(sut = Exec.Pristine) sc =
   (* the reference run doubles as the warm-up: compiler and interpreter

@@ -26,7 +26,10 @@ val fails : sut:Exec.sut -> cls:string -> Exec.scenario -> bool
 
 type stats = {
   sh_sweeps : int;  (** committed removals + the final fruitless sweep *)
-  sh_evals : int;  (** scenario executions performed *)
+  sh_evals : int;
+      (** candidate verdicts consumed (plus the reference run); the
+          count is [jobs]-independent — speculative evaluations
+          discarded past a sweep's commit point are not included *)
   sh_removed : int;  (** elements removed from the original scenario *)
 }
 

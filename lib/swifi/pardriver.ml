@@ -1,4 +1,5 @@
-(* Multicore campaign driver.
+(* Multicore campaign driver, built on the deterministic speculative
+   pool ({!Sg_util.Pool}).
 
    Campaign chunks are independent deterministic runs keyed by
    (mode, iface, chunk_seed): each one builds a fresh simulator and its
@@ -21,8 +22,47 @@
      the exact sequential budget.
 
    The merged row is therefore equal, count for count, to what
-   [Campaign.run] produces — verified by the [pardriver] test and the
-   [-j N] totals acceptance check. *)
+   [Campaign.run] produces — verified by the [pardriver] golden tests
+   and the qcheck jobs/batch determinism property.
+
+   Scaling comes from how the chunks are fanned out:
+
+   - chunk seeds are grouped into *batches* sized so one work item
+     amortizes domain hand-off over ~100 injections (adaptively derived
+     from the first chunk's injection count; override with [?batch]);
+   - a batch's chunk results — rows, event buffers, stitched episodes —
+     stay private to the worker until the whole batch is published with
+     one atomic store; there is no rendezvous per chunk;
+   - the pool bounds worker lookahead relative to the merge cursor, so
+     speculative results cannot pile up unboundedly and post-campaign
+     waste is at most the in-flight batches (workers also poll
+     [cancelled] between chunks and cut the current batch short);
+   - events are collected into preallocated growable buffers rather
+     than a consed-and-reversed list. *)
+
+module Pool = Sg_util.Pool
+
+(* Growable event buffer: doubling array, list only materialized at
+   delivery. Keeps the per-event hot path to one bounds check and one
+   store. *)
+module Ebuf = struct
+  type t = { mutable a : Sg_obs.Event.t array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push b e =
+    let cap = Array.length b.a in
+    if b.n = cap then begin
+      (* seed the fresh cells with [e]: no dummy event needed *)
+      let a = Array.make (if cap = 0 then 256 else 2 * cap) e in
+      Array.blit b.a 0 a 0 b.n;
+      b.a <- a
+    end;
+    Array.unsafe_set b.a b.n e;
+    b.n <- b.n + 1
+
+  let to_list b = List.init b.n (Array.get b.a)
+end
 
 type chunk_result = {
   cr_injected : int;
@@ -32,25 +72,56 @@ type chunk_result = {
 
 let run_one ~collect ~episodes ~mode ~iface ~period_ns ~chunk_iters
     ~cmon_period_ns ~chunk_seed ~budget =
-  let events = ref [] in
-  let on_event = if collect then Some (fun e -> events := e :: !events) else None in
+  let events = if collect then Some (Ebuf.create ()) else None in
+  let on_event = Option.map (fun b e -> Ebuf.push b e) events in
   let injected, row =
     Campaign.run_chunk ?on_event ~episodes ~mode ~iface ~seed:chunk_seed
       ~period_ns ~iters:chunk_iters ~budget ~cmon_period_ns ()
   in
-  { cr_injected = injected; cr_row = row; cr_events = List.rev !events }
+  {
+    cr_injected = injected;
+    cr_row = row;
+    cr_events = (match events with Some b -> Ebuf.to_list b | None -> []);
+  }
+
+(* Batch size in chunk seeds: aim for ~[target_injections] per work item
+   (so domain hand-off is amortized), but never so coarse that the
+   estimated remaining chunks split into fewer than ~4 batches per
+   domain (so the tail stays balanced). Derived only from the first
+   chunk's observed injection count and the campaign parameters — and
+   since batching affects scheduling, never results, any choice yields
+   the same output. *)
+let derive_batch ~jobs ~injections ~first_injected =
+  let target_injections = 100 in
+  let per_chunk = max 1 first_injected in
+  let by_target = (target_injections + per_chunk - 1) / per_chunk in
+  let est_chunks = max 1 ((injections - first_injected) / per_chunk) in
+  let by_balance = max 1 (est_chunks / (4 * jobs)) in
+  max 1 (min by_target by_balance)
 
 let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
-    ?(collect_events = true) ?(episodes = false) ?on_chunk ~jobs ~mode ~iface
-    ~injections () =
+    ?(collect_events = true) ?(episodes = false) ?on_chunk ?on_episodes ?batch
+    ?lookahead ~jobs ~mode ~iface ~injections () =
   let jobs = max 1 jobs in
   let collect = collect_events && on_chunk <> None in
-  let deliver chunk_seed events =
-    match on_chunk with Some f -> f ~seed:chunk_seed events | None -> ()
+  let stitch = episodes || on_episodes <> None in
+  let deliver chunk_seed r =
+    (match on_chunk with Some f -> f ~seed:chunk_seed r.cr_events | None -> ());
+    match on_episodes with
+    | Some f -> f ~seed:chunk_seed r.cr_row.Campaign.r_episodes
+    | None -> ()
   in
-  let run_one = run_one ~collect ~episodes ~mode ~iface ~period_ns ~chunk_iters
-      ~cmon_period_ns in
-  if jobs = 1 then begin
+  (* rows keep their stitched episodes only when the caller asked for
+     them on the row; streaming consumers get each chunk's list through
+     [on_episodes] without the campaign-long accumulation *)
+  let strip (row : Campaign.row) =
+    if stitch && not episodes then { row with Campaign.r_episodes = [] }
+    else row
+  in
+  let run_one = run_one ~collect ~episodes:stitch ~mode ~iface ~period_ns
+      ~chunk_iters ~cmon_period_ns in
+  if injections <= 0 then Campaign.empty iface
+  else if jobs = 1 then begin
     (* plain sequential loop — same seeds, same budgets, same arithmetic
        as [Campaign.run], so the result (and any emitted trace) is
        byte-identical to the single-core driver *)
@@ -59,86 +130,74 @@ let run ?(seed = 1) ?(period_ns = 20_000) ?(chunk_iters = 400) ?cmon_period_ns
       if remaining <= 0 then acc
       else begin
         let r = run_one ~chunk_seed ~budget:remaining in
-        deliver chunk_seed r.cr_events;
-        go (Campaign.add acc r.cr_row) (chunk_seed + 1)
+        deliver chunk_seed r;
+        go (Campaign.add acc (strip r.cr_row)) (chunk_seed + 1)
       end
     in
     go (Campaign.empty iface) seed
   end
   else begin
     (* The first chunk's sequential budget is [injections] itself, so run
-       it in this domain before spawning workers: it doubles as the
+       it in this domain before engaging the pool: it doubles as the
        warm-up of the process-wide compile caches (Compiler.builtin /
        Interp.counter), which become read-only for the rest of the
-       campaign. *)
+       campaign, and its injection count calibrates the batch size. *)
     let first = run_one ~chunk_seed:seed ~budget:injections in
-    let acc = ref (Campaign.add (Campaign.empty iface) first.cr_row) in
-    deliver seed first.cr_events;
+    let acc = ref (Campaign.add (Campaign.empty iface) (strip first.cr_row)) in
+    deliver seed first;
     if injections - !acc.Campaign.r_injected <= 0 then !acc
     else begin
-      let next_seed = Atomic.make (seed + 1) in
-      let stop = Atomic.make false in
-      let m = Mutex.create () in
-      let ready = Condition.create () in
-      let results : (int, (chunk_result, exn) result) Hashtbl.t =
-        Hashtbl.create 32
+      let batch =
+        match batch with
+        | Some b -> max 1 b
+        | None ->
+            derive_batch ~jobs ~injections ~first_injected:first.cr_injected
       in
-      let put s r =
-        Mutex.lock m;
-        Hashtbl.replace results s r;
-        Condition.broadcast ready;
-        Mutex.unlock m
-      in
-      let take s =
-        Mutex.lock m;
-        while not (Hashtbl.mem results s) do
-          Condition.wait ready m
+      let seed_of b k = seed + 1 + (b * batch) + k in
+      (* one pool task = one batch of uncapped speculative chunks; the
+         worker keeps the whole batch private and publishes it at once *)
+      let task ~cancelled b =
+        let out = Array.make batch None in
+        let k = ref 0 in
+        while !k < batch && not (cancelled ()) do
+          out.(!k) <-
+            Some (run_one ~chunk_seed:(seed_of b !k) ~budget:injections);
+          incr k
         done;
-        let r = Hashtbl.find results s in
-        Hashtbl.remove results s;
-        Mutex.unlock m;
-        r
+        out
       in
-      let worker () =
-        let continue_ = ref true in
-        while !continue_ do
-          let s = Atomic.fetch_and_add next_seed 1 in
-          if Atomic.get stop then continue_ := false
-          else
-            put s
-              (match run_one ~chunk_seed:s ~budget:injections with
-              | r -> Ok r
-              | exception e -> Error e)
-        done
+      (* replay the sequential budget arithmetic over one published
+         batch; [Stop] once the budget is met (re-running the binding
+         final chunk with its exact sequential budget first) *)
+      let consume b out =
+        let decision = ref Pool.Continue in
+        let k = ref 0 in
+        while !decision = Pool.Continue && !k < batch do
+          let chunk_seed = seed_of b !k in
+          let remaining = injections - !acc.Campaign.r_injected in
+          if remaining <= 0 then decision := Pool.Stop
+          else begin
+            let r =
+              match out.(!k) with
+              | Some r when r.cr_injected < remaining ->
+                  (* cap not binding: identical to the sequential chunk *)
+                  r
+              | Some _ | None ->
+                  (* the sequential cap would have stopped this chunk
+                     early (or a cancelled worker never ran it): re-run
+                     with the exact sequential budget *)
+                  run_one ~chunk_seed ~budget:remaining
+            in
+            deliver chunk_seed r;
+            acc := Campaign.add !acc (strip r.cr_row);
+            if injections - !acc.Campaign.r_injected <= 0 then
+              decision := Pool.Stop;
+            incr k
+          end
+        done;
+        !decision
       in
-      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      let finish () =
-        Atomic.set stop true;
-        List.iter Domain.join domains
-      in
-      let rec merge chunk_seed =
-        let remaining = injections - !acc.Campaign.r_injected in
-        if remaining <= 0 then finish ()
-        else
-          match take chunk_seed with
-          | Error e ->
-              finish ();
-              raise e
-          | Ok r when r.cr_injected < remaining ->
-              (* cap not binding: identical to the sequential chunk *)
-              deliver chunk_seed r.cr_events;
-              acc := Campaign.add !acc r.cr_row;
-              merge (chunk_seed + 1)
-          | Ok _ ->
-              (* the sequential cap would have stopped this chunk early:
-                 this is the campaign's last chunk — redo it with the
-                 exact sequential budget *)
-              finish ();
-              let r = run_one ~chunk_seed ~budget:remaining in
-              deliver chunk_seed r.cr_events;
-              acc := Campaign.add !acc r.cr_row
-      in
-      merge (seed + 1);
+      Pool.run ~jobs ?lookahead ~task ~consume ();
       !acc
     end
   end

@@ -1,11 +1,19 @@
 (** Multicore SWIFI campaign driver.
 
-    Fans {!Campaign} chunks across [jobs] domains ([Domain.spawn]); each
-    chunk builds its own simulator and sink, so chunks share no mutable
-    state. The merge replays the sequential budget arithmetic in seed
-    order, re-running (at most) the campaign's final chunk with its
-    exact sequential budget, so the merged row equals — count for
-    count — the row {!Campaign.run} produces with the same parameters.
+    Fans {!Campaign} chunks across [jobs] domains through the
+    deterministic speculative pool ({!Sg_util.Pool}): chunk seeds are
+    grouped into batches sized to amortize domain hand-off over ~100
+    injections (derived from the first chunk's injection count; override
+    with [batch]), each batch's results stay private to its worker until
+    published with one atomic store, and worker lookahead is bounded
+    relative to the merge cursor, so speculative results never pile up
+    unboundedly and post-campaign waste is at most the in-flight
+    batches. Each chunk builds its own simulator and sink, so chunks
+    share no mutable state. The merge replays the sequential budget
+    arithmetic in seed order, re-running (at most) the campaign's final
+    chunk with its exact sequential budget, so the merged row equals —
+    count for count — the row {!Campaign.run} produces with the same
+    parameters, for every [jobs], [batch], and [lookahead].
 
     [jobs = 1] is a plain sequential loop with the same seeds and
     budgets as {!Campaign.run}: output (including any trace delivered
@@ -22,9 +30,20 @@
     empty.
 
     [episodes:true] turns on per-chunk recovery-episode stitching (see
-    {!Campaign.run}); merged episode lists are deterministic across
-    [jobs] because discarded speculative chunks also discard their
-    episodes. *)
+    {!Campaign.run}) and accumulates the episodes on the returned row;
+    merged episode lists are deterministic across [jobs] because
+    discarded speculative chunks also discard their episodes.
+
+    [on_episodes] streams each used chunk's stitched episode list in
+    merge (seed) order instead: stitching is enabled, the callback sees
+    exactly the lists [episodes:true] would have concatenated, but —
+    unless [episodes:true] was also given — the returned row keeps
+    [r_episodes = []], so a million-injection campaign can be
+    bound-checked in constant memory.
+
+    An exception from a worker chunk propagates in the calling domain
+    after every spawned domain has been joined; no chunk result outlives
+    the call. *)
 
 val run :
   ?seed:int ->
@@ -34,6 +53,9 @@ val run :
   ?collect_events:bool ->
   ?episodes:bool ->
   ?on_chunk:(seed:int -> Sg_obs.Event.t list -> unit) ->
+  ?on_episodes:(seed:int -> Sg_obs.Episode.t list -> unit) ->
+  ?batch:int ->
+  ?lookahead:int ->
   jobs:int ->
   mode:Sg_components.Sysbuild.mode ->
   iface:string ->

@@ -243,6 +243,41 @@ let test_shrink_jobs_identical () =
   Alcotest.(check string) "identical artifact at -j 1 and -j 2"
     (Artifact.to_string art1) (Artifact.to_string art2)
 
+(* The seed-range campaign driver must deliver the same reports, in the
+   same order, and find the same first failing seed at every jobs —
+   speculative seeds past the failure are run but never reported. *)
+let test_run_seeds_jobs_identical () =
+  let observe ~sut ~profile ~jobs =
+    let log = ref [] in
+    let fail =
+      Dst.run_seeds ~sut ~profile ~jobs
+        ~on_report:(fun r ->
+          let v =
+            match r.Dst.rr_result with
+            | Error _ -> "compile-error"
+            | Ok o -> Exec.verdict_class o.Exec.oc_verdict
+          in
+          log := (r.Dst.rr_seed, v) :: !log)
+        ~seed:1 ~count:12 ()
+    in
+    (List.rev !log, Option.map (fun r -> r.Dst.rr_seed) fail)
+  in
+  (* pristine: no failure, the full range reported *)
+  let log1, f1 = observe ~sut:Exec.Pristine ~profile:Dst.default_profile ~jobs:1 in
+  let log4, f4 = observe ~sut:Exec.Pristine ~profile:Dst.default_profile ~jobs:4 in
+  Alcotest.(check (option int)) "pristine: no failing seed" f1 f4;
+  Alcotest.(check int) "pristine: full range reported" 12 (List.length log4);
+  Alcotest.(check bool) "pristine: identical report logs" true (log1 = log4);
+  (* a mutant hunt stops at the same seed with the same truncated log *)
+  let m = mutant_of_id "mm/drop-terminal/0" in
+  let sut = Exec.Mutant m in
+  let profile = Dst.focus_profile m.Sg_analysis.Mutate.m_iface in
+  let mlog1, mf1 = observe ~sut ~profile ~jobs:1 in
+  let mlog4, mf4 = observe ~sut ~profile ~jobs:4 in
+  Alcotest.(check bool) "mutant: a failure was found" true (mf1 <> None);
+  Alcotest.(check (option int)) "mutant: same failing seed" mf1 mf4;
+  Alcotest.(check bool) "mutant: identical report logs" true (mlog1 = mlog4)
+
 (* ------------------------------------------------------------------ *)
 (* Double-fault episode stitching                                      *)
 
@@ -386,6 +421,8 @@ let () =
             test_shrunk_minimal_and_replayable;
           Alcotest.test_case "jobs-independent artifact" `Slow
             test_shrink_jobs_identical;
+          Alcotest.test_case "jobs-independent campaign" `Slow
+            test_run_seeds_jobs_identical;
         ] );
       ( "double-fault",
         [

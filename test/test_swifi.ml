@@ -94,6 +94,55 @@ let test_campaign_matches_paper iface () =
     Alcotest.failf "%s success rate: %.2f%% vs paper %.2f%%" iface succ
       p.Sg_harness.Paper.p_success_pct
 
+(* Satellite property: the parallel driver is a pure optimization. For
+   any (seed, injections) the row, the on_chunk event streams and the
+   on_episodes streams must be identical at every jobs / batch /
+   lookahead choice — including the small-injection regime where the
+   budget binds mid-chunk and the merge must re-run the final chunk. *)
+let pardriver_observed ~seed ~injections ~jobs ?batch ?lookahead () =
+  let chunks = ref [] in
+  let eps = ref [] in
+  let row =
+    Sg_swifi.Pardriver.run ~seed ~jobs ?batch ?lookahead
+      ~mode:Superglue.Stubset.mode ~iface:"lock" ~injections
+      ~on_chunk:(fun ~seed evs -> chunks := (seed, evs) :: !chunks)
+      ~on_episodes:(fun ~seed eps' -> eps := (seed, eps') :: !eps)
+      ()
+  in
+  (row, List.rev !chunks, List.rev !eps)
+
+let prop_pardriver_invariant =
+  QCheck.Test.make
+    ~name:"Pardriver.run invariant under jobs/batch/lookahead" ~count:12
+    QCheck.(
+      quad (int_bound 1000) (int_range 10 60) (int_range 2 4) (int_bound 5))
+    (fun (seed, injections, jobs, batch) ->
+      let batch = if batch = 0 then None else Some batch in
+      let reference = pardriver_observed ~seed ~injections ~jobs:1 () in
+      let parallel =
+        pardriver_observed ~seed ~injections ~jobs ?batch ~lookahead:(jobs + 1)
+          ()
+      in
+      reference = parallel)
+
+let test_pardriver_failure_path () =
+  (* an unknown interface must raise in the calling domain — with every
+     worker domain joined, so the suite keeps running normally after *)
+  let boom () =
+    ignore
+      (Sg_swifi.Pardriver.run ~jobs:4 ~mode:Superglue.Stubset.mode
+         ~iface:"nonesuch" ~injections:200 ())
+  in
+  (match boom () with
+  | () -> Alcotest.fail "expected an exception for an unknown iface"
+  | exception _ -> ());
+  let r =
+    Sg_swifi.Pardriver.run ~jobs:4 ~mode:Superglue.Stubset.mode ~iface:"lock"
+      ~injections:60 ()
+  in
+  Alcotest.(check int) "driver still works after the failure" 60
+    r.Campaign.r_injected
+
 let test_c3_mode_also_recovers () =
   let r =
     Campaign.run
@@ -121,6 +170,12 @@ let () =
           Alcotest.test_case "accounting" `Quick test_campaign_accounting;
           Alcotest.test_case "c3 recovers" `Quick test_c3_mode_also_recovers;
           Alcotest.test_case "base does not recover" `Quick test_base_mode_recovers_nothing;
+        ] );
+      ( "pardriver",
+        [
+          QCheck_alcotest.to_alcotest prop_pardriver_invariant;
+          Alcotest.test_case "failure path joins workers" `Quick
+            test_pardriver_failure_path;
         ] );
       ( "paper-bands",
         List.map

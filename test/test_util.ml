@@ -130,6 +130,111 @@ let test_table_render () =
   Alcotest.(check bool) "contains header" true (contains s "Comp");
   Alcotest.(check bool) "contains row" true (contains s "Sched")
 
+(* Pool: the deterministic speculative domain pool under the parallel
+   campaign drivers. The contract under test is pool.mli's: in-order
+   consumption, Stop discards the speculative tail, exceptions from
+   either side propagate only after every domain is joined. *)
+
+module Pool = Sg_util.Pool
+
+let test_pool_ordered () =
+  let seen = ref [] in
+  Pool.run ~jobs:4 ~count:100
+    ~task:(fun ~cancelled:_ i -> i * i)
+    ~consume:(fun i v ->
+      Alcotest.(check int) "task value" (i * i) v;
+      seen := i :: !seen;
+      Pool.Continue)
+    ();
+  Alcotest.(check (list int))
+    "every index, in order" (List.init 100 Fun.id) (List.rev !seen)
+
+let test_pool_stop () =
+  let seen = ref [] in
+  Pool.run ~jobs:4 ~count:1000
+    ~task:(fun ~cancelled:_ i -> i)
+    ~consume:(fun i _ ->
+      seen := i :: !seen;
+      if i = 12 then Pool.Stop else Pool.Continue)
+    ();
+  Alcotest.(check (list int))
+    "consumed exactly [0..12]" (List.init 13 Fun.id) (List.rev !seen)
+
+let test_pool_lookahead_one () =
+  (* lookahead 1 serializes the ring: still correct, still ordered *)
+  let seen = ref [] in
+  Pool.run ~jobs:3 ~count:40 ~lookahead:1
+    ~task:(fun ~cancelled:_ i -> (2 * i) + 1)
+    ~consume:(fun i v ->
+      Alcotest.(check int) "task value" ((2 * i) + 1) v;
+      seen := i :: !seen;
+      Pool.Continue)
+    ();
+  Alcotest.(check int) "all consumed" 40 (List.length !seen)
+
+let test_pool_more_jobs_than_work () =
+  let sum = ref 0 in
+  Pool.run ~jobs:8 ~count:3
+    ~task:(fun ~cancelled:_ i -> i + 1)
+    ~consume:(fun _ v ->
+      sum := !sum + v;
+      Pool.Continue)
+    ();
+  Alcotest.(check int) "sum of 1+2+3" 6 !sum
+
+let test_pool_task_exception () =
+  let delivered = ref 0 in
+  let raised =
+    try
+      Pool.run ~jobs:4 ~count:50
+        ~task:(fun ~cancelled:_ i -> if i = 7 then failwith "task boom" else i)
+        ~consume:(fun _ _ ->
+          incr delivered;
+          Pool.Continue)
+        ();
+      false
+    with Failure msg -> msg = "task boom"
+  in
+  Alcotest.(check bool) "task exception propagates" true raised;
+  Alcotest.(check int) "results before the failing index" 7 !delivered;
+  (* every domain must have been joined before the raise: a fresh run
+     on the same process has the whole domain budget available *)
+  let n = ref 0 in
+  Pool.run ~jobs:4 ~count:20
+    ~task:(fun ~cancelled:_ i -> i)
+    ~consume:(fun _ _ ->
+      incr n;
+      Pool.Continue)
+    ();
+  Alcotest.(check int) "pool usable after a failed run" 20 !n
+
+let test_pool_consume_exception () =
+  let raised =
+    try
+      Pool.run ~jobs:4 ~count:50
+        ~task:(fun ~cancelled:_ i -> i)
+        ~consume:(fun i _ ->
+          if i = 5 then failwith "consume boom" else Pool.Continue)
+        ();
+      false
+    with Failure msg -> msg = "consume boom"
+  in
+  Alcotest.(check bool) "consume exception propagates" true raised
+
+let prop_pool_matches_sequential =
+  QCheck.Test.make ~name:"Pool.run consumes what a sequential loop would"
+    ~count:60
+    QCheck.(triple (int_range 1 6) (int_range 0 80) (int_range 1 9))
+    (fun (jobs, count, lookahead) ->
+      let acc = ref [] in
+      Pool.run ~jobs ~count ~lookahead
+        ~task:(fun ~cancelled:_ i -> (i * 37) mod 101)
+        ~consume:(fun i v ->
+          acc := (i, v) :: !acc;
+          Pool.Continue)
+        ();
+      List.rev !acc = List.init count (fun i -> (i, i * 37 mod 101)))
+
 (* Property tests *)
 
 let prop_flip_involutive =
@@ -180,4 +285,17 @@ let () =
           QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ( "pool",
+        [
+          Alcotest.test_case "ordered consumption" `Quick test_pool_ordered;
+          Alcotest.test_case "stop discards tail" `Quick test_pool_stop;
+          Alcotest.test_case "lookahead 1" `Quick test_pool_lookahead_one;
+          Alcotest.test_case "more jobs than work" `Quick
+            test_pool_more_jobs_than_work;
+          Alcotest.test_case "task exception joins then raises" `Quick
+            test_pool_task_exception;
+          Alcotest.test_case "consume exception joins then raises" `Quick
+            test_pool_consume_exception;
+          QCheck_alcotest.to_alcotest prop_pool_matches_sequential;
+        ] );
     ]

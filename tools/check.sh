@@ -29,6 +29,26 @@ for k in ("scan", "indexed"):
 assert b["speedup_indexed_vs_scan"] > 0
 EOF
 
+echo "== perf smoke: bench campaign-scale --quick writes valid BENCH_campaign.json"
+./_build/default/bench/main.exe campaign-scale --quick \
+    --out "$tmpdir/BENCH_campaign.json" > /dev/null
+python3 - "$tmpdir/BENCH_campaign.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["bench"] == "campaign-scale" and r["quick"] is True
+assert r["services"] == 6
+assert r["injections_total"] == r["injections_per_service"] * 6
+assert r["host_cores"] >= 1
+assert [row["j"] for row in r["jobs"]] == [1, 2, 4]
+for row in r["jobs"]:
+    assert row["wall_s"] > 0 and row["injections_per_s"] > 0
+assert r["verify_bounds"]["violations"] == 0
+assert r["verify_bounds"]["complete"] >= 1
+EOF
+
+echo "== perf gate: fresh campaign throughput against the committed baseline"
+python3 tools/bench_diff.py BENCH_campaign.json "$tmpdir/BENCH_campaign.json"
+
 echo "== perf smoke: sgtrace check passes on a -j 2 campaign stream"
 ./_build/default/bin/campaign.exe --iface lock -n 40 --seed 3 -j 2 \
     --trace "$tmpdir/trace.jsonl" > /dev/null 2>&1
@@ -118,6 +138,11 @@ echo "== dst gate: fixed-seed campaign over all six services passes clean"
 ./_build/default/bin/dst.exe run --seed 1 --count 10 -q > "$tmpdir/dst_run.out"
 grep -q "0 failure(s), services=6" "$tmpdir/dst_run.out"
 
+echo "== dst gate: --jobs campaign output byte-identical to the sequential run"
+./_build/default/bin/dst.exe run --seed 1 --count 10 -j 1 > "$tmpdir/dst_run_j1.out"
+./_build/default/bin/dst.exe run --seed 1 --count 10 -j 4 > "$tmpdir/dst_run_j4.out"
+cmp "$tmpdir/dst_run_j1.out" "$tmpdir/dst_run_j4.out"
+
 echo "== dst gate: a canned failing plan shrinks to a byte-identical repro at -j 1 and -j 2"
 # the mutant run exits 1 (failure found) by contract; capture rc under set -e
 rc=0
@@ -130,5 +155,11 @@ rc=0
     --out "$tmpdir/dst_min_j2.json" -j 2 > /dev/null
 cmp "$tmpdir/dst_min_j1.json" "$tmpdir/dst_min_j2.json"
 ./_build/default/bin/dst.exe replay "$tmpdir/dst_min_j1.json" > /dev/null
+# the same hunt at -j 2 must find the same failing seed and artifact
+rc=0
+./_build/default/bin/dst.exe run --mutant mm/drop-terminal/0 --count 5 \
+    --no-shrink --out "$tmpdir/dst_fail_j2.json" -q -j 2 > /dev/null || rc=$?
+[ "$rc" -eq 1 ]
+cmp "$tmpdir/dst_fail.json" "$tmpdir/dst_fail_j2.json"
 
 echo "== tier-1 gate OK"
