@@ -8,7 +8,12 @@
                          any -j; used by CI to cross-check parallelism)
    superglue-dst replay  rerun an artifact and verify its recorded
                          verdict class reproduces
-   superglue-dst mutants list the builtin mutation-testing mutants *)
+   superglue-dst mutants list the builtin mutation-testing mutants
+   superglue-dst adversary
+                         grade the static taint verdict table (sgc
+                         taint) against live perturbed runs: one
+                         Plan.Perturb per scenario, confusion-matrix
+                         gate over the whole table *)
 
 open Cmdliner
 module Dst = Sg_dst.Dst
@@ -18,6 +23,7 @@ module Plan = Sg_dst.Plan
 module Artifact = Sg_dst.Artifact
 module Shrink = Sg_dst.Shrink
 module Mutate = Sg_analysis.Mutate
+module Taint = Sg_analysis.Taint
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed.")
@@ -194,6 +200,69 @@ let replay_cmd_fn artifact_path =
       print_detail o.Exec.oc_verdict;
       if matches then 0 else 1
 
+let per_entry_arg =
+  Arg.(
+    value & opt int 18
+    & info [ "per-entry" ] ~docv:"K"
+        ~doc:
+          "Scenario budget per verdict-table entry: seeds and anchor \
+           positions scanned before a claim is graded.")
+
+let adv_seed_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed of the campaign.")
+
+let out_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Write one shrunk witness artifact per silent claim here.")
+
+let adversary_cmd_fn seed per_entry jobs out_dir quiet =
+  let witnesses = ref [] in
+  let on_row r =
+    let e = r.Dst.ar_entry in
+    if not quiet then
+      Printf.printf "%-6s %-16s %-14s %-9s u=%d m=%d d=%d s=%d %s\n"
+        e.Taint.e_iface e.Taint.e_fn e.Taint.e_field
+        (Taint.verdict_to_string e.Taint.e_verdict)
+        r.Dst.ar_unfired r.Dst.ar_masked r.Dst.ar_detected r.Dst.ar_silent
+        (if r.Dst.ar_ok then "ok" else "MISMATCH");
+    match r.Dst.ar_witness with
+    | Some sc -> witnesses := (e, sc) :: !witnesses
+    | None -> ()
+  in
+  let rows, mismatches = Dst.run_adversary ~jobs ~on_row ~seed ~per_entry () in
+  let witnesses = List.rev !witnesses in
+  (* the witness for each silent claim is shrunk to a replayable
+     artifact; shrinking is deterministic at every -j, so this block is
+     byte-identical across parallelism levels too *)
+  List.iter
+    (fun ((e : Taint.entry), sc) ->
+      let artifact, stats = Dst.shrink_to_artifact ~jobs sc in
+      Printf.printf
+        "witness %s.%s %s: seed=%d shrunk to %s (%d removed, %d evals)\n"
+        e.Taint.e_iface e.Taint.e_fn e.Taint.e_field sc.Exec.sc_seed
+        artifact.Artifact.af_verdict stats.Shrink.sh_removed
+        stats.Shrink.sh_evals;
+      match out_dir with
+      | None -> ()
+      | Some dir ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "adv_%s_%s_%s.json" e.Taint.e_iface e.Taint.e_fn
+                 (String.map (function '@' -> 'x' | c -> c) e.Taint.e_field))
+          in
+          Artifact.save path artifact)
+    witnesses;
+  Printf.printf
+    "adversary: %d entr(ies), %d witness(es), %d mismatch(es), seed=%d \
+     per-entry=%d\n"
+    (List.length rows) (List.length witnesses) mismatches seed per_entry;
+  if mismatches > 0 then 1 else 0
+
 let mutants_cmd_fn () =
   List.iter
     (fun m -> Printf.printf "%s\n" m.Mutate.m_id)
@@ -234,10 +303,20 @@ let mutants_cmd =
     (Cmd.info "mutants" ~doc:"List the builtin mutants.")
     Term.(const mutants_cmd_fn $ const ())
 
+let adversary_cmd =
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:
+         "Validate the static taint verdict table against live \
+          edge-perturbed runs.")
+    Term.(
+      const adversary_cmd_fn $ adv_seed_arg $ per_entry_arg $ jobs_arg
+      $ out_dir_arg $ quiet_arg)
+
 let () =
   Sg_util.Pool.tune_gc ();
   let info =
     Cmd.info "superglue-dst" ~version:"1.0"
       ~doc:"Property-based DST campaigns with shrinking for SuperGlue."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; shrink_cmd; replay_cmd; mutants_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; shrink_cmd; replay_cmd; mutants_cmd; adversary_cmd ]))

@@ -256,6 +256,56 @@ let bound_cmd =
           is bounded, 1 if any is unbounded, 2 on compile errors.")
     Term.(ret (const run $ files_arg $ builtins_flag $ json_flag $ scale_arg))
 
+let taint_cmd =
+  let files_arg =
+    Arg.(
+      value
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Interface specifications (.sgidl).")
+  in
+  let builtins_flag =
+    Arg.(
+      value & flag
+      & info [ "builtins" ]
+          ~doc:"Also analyze the six embedded system interfaces.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the verdict table as JSON on stdout.")
+  in
+  let run files builtins json =
+    if files = [] && not builtins then
+      `Error (true, "give at least one FILE or --builtins")
+    else
+      match
+        List.map Compiler.compile_file files
+        @ (if builtins then List.map Compiler.builtin Compiler.builtin_names
+           else [])
+      with
+      | artifacts ->
+          let report = Sg_analysis.Taint.analyze artifacts in
+          if json then
+            print_endline
+              (Json.to_string (Sg_analysis.Taint.report_to_json report))
+          else print_string (Sg_analysis.Taint.render report);
+          `Ok
+            (if Diag.has_errors report.Sg_analysis.Taint.t_diags then
+               exit_findings
+             else exit_ok)
+      | exception Compiler.Compile_error ds ->
+          List.iter print_diag ds;
+          `Ok exit_compile_error
+  in
+  Cmd.v
+    (Cmd.info "taint"
+       ~doc:
+         "Classify every (interface edge, field) pair as masked, detected \
+          or silent under value corruption, and report SG016-SG019 \
+          propagation findings. Exit 0 if no finding, 1 if any, 2 on \
+          compile errors.")
+    Term.(ret (const run $ files_arg $ builtins_flag $ json_flag))
+
 let () =
   let info =
     Cmd.info "sgc" ~version:"1.0"
@@ -264,4 +314,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; header_cmd; check_cmd; graph_cmd; lint_cmd; bound_cmd ]))
+          [
+            compile_cmd;
+            header_cmd;
+            check_cmd;
+            graph_cmd;
+            lint_cmd;
+            bound_cmd;
+            taint_cmd;
+          ]))

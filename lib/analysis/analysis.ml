@@ -33,6 +33,13 @@ let rules =
     ("SG013", Diag.Error, "wakeup dependency cycle: recovery deadlock");
     ("SG014", Diag.Error, "recovery walk count not statically bounded");
     ("SG015", Diag.Error, "transitive wakeup chain inconsistent with boot order");
+    (* SG016-SG019 are emitted by the taint pass (Taint.analyze /
+       `sgc taint`), not by lint: they grade fault propagation across
+       interface edges rather than replay soundness. *)
+    ("SG016", Diag.Error, "silent cross-component fault propagation");
+    ("SG017", Diag.Error, "unreplayed captured metadata feeds an interface value");
+    ("SG018", Diag.Error, "tainted value can reach a descriptor-table key");
+    ("SG019", Diag.Error, "storage-read taint survives reboot unregenerated");
     ("SG020", Diag.Info, "post-state recovered by state-class collapsing");
     ("SG900", Diag.Error, "lexical error");
     ("SG901", Diag.Error, "syntax error");
@@ -646,10 +653,8 @@ let diag_to_json d =
     @ [ ("message", Json.Str d.Diag.d_message) ])
 
 let report_to_json ds =
-  Json.Obj
+  Json.versioned_report ~schema:"sgc-lint" ~version:2
     [
-      ("version", Json.Int 2);
-      ("schema", Json.Str "sgc-lint");
       ("diagnostics", Json.List (List.map diag_to_json ds));
       ("errors", Json.Int (Diag.count Diag.Error ds));
       ("warnings", Json.Int (Diag.count Diag.Warning ds));

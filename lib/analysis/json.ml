@@ -235,3 +235,6 @@ let parse s =
   v
 
 let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let versioned_report ~schema ~version fields =
+  Obj (("version", Int version) :: ("schema", Str schema) :: fields)

@@ -20,3 +20,9 @@ val parse : string -> t
 
 val member : string -> t -> t option
 (** Field lookup on an [Obj]; [None] otherwise. *)
+
+val versioned_report : schema:string -> version:int -> (string * t) list -> t
+(** The canonical envelope shared by every [sgc] report schema
+    ("sgc-lint", "sgc-bound", "sgc-taint"): a top-level object whose
+    first two fields are always [version] then [schema], followed by
+    the schema-specific fields in the given order. *)

@@ -140,13 +140,13 @@ let unwrap_desc_data n src =
           ^ String.sub src (cp + 1) (len - cp - 1))
         (close (start + klen) 0)
 
-let flip_desc_has_data src =
+let flip_bool_field field src =
   let ls = lines src in
   let flipped = ref false in
   let out =
     List.map
       (fun l ->
-        if (not !flipped) && starts_with "desc_has_data" l then begin
+        if (not !flipped) && starts_with field l then begin
           flipped := true;
           match
             ( replace_once ~from:"true" ~by:"false" l,
@@ -160,6 +160,129 @@ let flip_desc_has_data src =
       ls
   in
   if !flipped then Some (unlines out) else None
+
+let flip_desc_has_data src = flip_bool_field "desc_has_data" src
+
+let contains_sub sub l =
+  let n = String.length l and sn = String.length sub in
+  let rec go i = i + sn <= n && (String.sub l i sn = sub || go (i + 1)) in
+  go 0
+
+(* Rewrite the declaration line of [fn] (the line carrying a leading
+   return type and "fn(") through [rw]; None if no such line or [rw]
+   declines. *)
+let on_decl_line fn rw src =
+  let ls = lines src in
+  let hit = ref false in
+  let out =
+    List.concat_map
+      (fun l ->
+        if
+          (not !hit)
+          && (starts_with "long " l || starts_with "int " l)
+          && contains_sub (fn ^ "(") l
+        then
+          match rw l with
+          | Some repl ->
+              hit := true;
+              repl
+          | None -> [ l ]
+        else [ l ])
+      ls
+  in
+  if !hit then Some (unlines out) else None
+
+(* SG017 bait: annotate a non-creation function's return as a datum some
+   creation replays — the corrupted reply is re-injected by every
+   post-crash recovery walk of that creation. *)
+let smuggle_retval ir src =
+  let module Ir = Superglue.Ir in
+  let datum =
+    List.find_map
+      (fun c ->
+        Option.bind (Ir.func ir c) (fun cf ->
+            List.find_map
+              (fun p ->
+                if p.Superglue.Ast.pa_attr = Superglue.Ast.ADescData then
+                  Some (p.Superglue.Ast.pa_type, p.Superglue.Ast.pa_name)
+                else None)
+              cf.Ir.f_params))
+      ir.Ir.ir_creates
+  in
+  let victim =
+    List.find_opt
+      (fun f ->
+        (not (Ir.is_create ir f.Ir.f_name))
+        && f.Ir.f_retval = None && f.Ir.f_ret <> None)
+      ir.Ir.ir_funcs
+  in
+  match (datum, victim) with
+  | Some (ty, d), Some f ->
+      let fn = f.Ir.f_name in
+      on_decl_line fn
+        (fun l ->
+          (* strip the leading return type: an annotated declaration has
+             none, the annotation line replaces it *)
+          let rec find i =
+            if i >= String.length l then None
+            else if contains_sub (fn ^ "(") (String.sub l i (String.length l - i))
+                    && String.sub l i (String.length fn) = fn
+            then Some i
+            else find (i + 1)
+          in
+          Option.map
+            (fun i ->
+              [
+                Printf.sprintf "desc_data_retval(%s, %s)" ty d;
+                String.sub l i (String.length l - i);
+              ])
+            (find 0))
+        src
+  | _ -> None
+
+(* SG018 bait: make a non-creation function capture the datum that is a
+   creation's descriptor-table key (namespace / cross-component parent),
+   so taint can displace the key space recovery indexes by. *)
+let smuggle_field ir src =
+  let module Ir = Superglue.Ir in
+  let key =
+    List.find_map
+      (fun c ->
+        Option.bind (Ir.func ir c) (fun cf ->
+            List.find_map
+              (fun p ->
+                match p.Superglue.Ast.pa_attr with
+                | Superglue.Ast.ADescNs | Superglue.Ast.ADescDataParent ->
+                    Some (p.Superglue.Ast.pa_type, p.Superglue.Ast.pa_name)
+                | _ -> None)
+              cf.Ir.f_params))
+      ir.Ir.ir_creates
+  in
+  let victim =
+    List.find_map
+      (fun f ->
+        if Ir.is_create ir f.Ir.f_name then None
+        else
+          List.find_map
+            (fun p ->
+              if p.Superglue.Ast.pa_attr = Superglue.Ast.APlain then
+                Some (f.Ir.f_name, p.Superglue.Ast.pa_type, p.Superglue.Ast.pa_name)
+              else None)
+            f.Ir.f_params)
+      ir.Ir.ir_funcs
+  in
+  match (key, victim) with
+  | Some (kty, kname), Some (fn, pty, pname) ->
+      on_decl_line fn
+        (fun l ->
+          Option.map
+            (fun l' -> [ l' ])
+            (replace_once
+               ~from:(Printf.sprintf "%s %s" pty pname)
+               ~by:(Printf.sprintf "desc_data(%s %s)" kty kname)
+               l))
+        src
+  | _ -> None
 
 (* Multiply the desc_table_cap value by ten by appending a zero (the
    literal ends its line in every builtin spec). *)
@@ -269,6 +392,20 @@ let per_iface iface =
          analysis can kill *)
       (match inflate_cap src with
       | Some s -> [ mk "inflate-cap" 0 s ]
+      | None -> []);
+      (* decouple the resource data from storage: the G1 replica that
+         masked silent parameter corruption vanishes — taint SG016 *)
+      (match flip_bool_field "resc_has_data" src with
+      | Some s -> [ mk "flip-resc-data" 0 s ]
+      | None -> []);
+      (* a non-creation reply annotated as replayed creation data —
+         taint SG017 *)
+      (match smuggle_retval ir src with
+      | Some s -> [ mk "smuggle-retval" 0 s ]
+      | None -> []);
+      (* a non-creation capture of a creation's table key — taint SG018 *)
+      (match smuggle_field ir src with
+      | Some s -> [ mk "smuggle-field" 0 s ]
       | None -> []);
     ]
 

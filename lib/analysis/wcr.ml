@@ -320,10 +320,8 @@ let render report =
 let opt_int = function None -> Json.Null | Some n -> Json.Int n
 
 let to_json report =
-  Json.Obj
+  Json.versioned_report ~schema:"sgc-bound" ~version:1
     [
-      ("version", Json.Int 1);
-      ("schema", Json.Str "sgc-bound");
       ( "cost",
         Json.Obj
           (List.map (fun (k, v) -> (k, Json.Int v)) (Cost.to_assoc report.r_cost))

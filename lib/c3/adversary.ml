@@ -1,0 +1,89 @@
+module Comp = Sg_os.Comp
+
+type action =
+  | Corrupt_arg of int
+  | Corrupt_ret
+  | Drop of Comp.value
+  | Dup
+  | Reorder
+
+type t = {
+  av_iface : string;
+  av_fn : string;
+  av_action : action;
+  av_nth : int;
+  mutable av_seen : int;
+  mutable av_fired : bool;
+  mutable av_errors : int;
+  mutable av_prev : Comp.value list option;
+}
+
+let make ~iface ~fn ~action ~nth =
+  {
+    av_iface = iface;
+    av_fn = fn;
+    av_action = action;
+    av_nth = max 1 nth;
+    av_seen = 0;
+    av_fired = false;
+    av_errors = 0;
+    av_prev = None;
+  }
+
+let fired t = t.av_fired
+let errors t = t.av_errors
+
+(* Value corruption is positive-preserving and page-aligned (0x2000000
+   is a multiple of the mm page size), so the corrupted value stays
+   inside every server's accepted domain and only its *identity* is
+   wrong — the strongest test of interface-level masking. *)
+let corrupt_value = function
+  | Comp.VInt v -> Comp.VInt (v lxor 0x2000000)
+  | Comp.VStr s when String.length s > 0 ->
+      let b = Bytes.of_string s in
+      Bytes.set b 0 (Char.chr ((Char.code (Bytes.get b 0) + 13) land 0x7f));
+      Comp.VStr (Bytes.to_string b)
+  | v -> v
+
+let record t r =
+  (match r with
+  | Error _ when t.av_fired -> t.av_errors <- t.av_errors + 1
+  | _ -> ());
+  r
+
+let invoke t ~iface ~fn ~invoke:go args =
+  if iface <> t.av_iface then go args
+  else if fn <> t.av_fn then record t (go args)
+  else begin
+    t.av_seen <- t.av_seen + 1;
+    let fire =
+      (not t.av_fired)
+      && t.av_seen >= t.av_nth
+      && match t.av_action with Reorder -> t.av_prev <> None | _ -> true
+    in
+    let result =
+      if not fire then go args
+      else begin
+        t.av_fired <- true;
+        match t.av_action with
+        | Corrupt_arg i ->
+            go (List.mapi (fun j v -> if j = i then corrupt_value v else v) args)
+        | Corrupt_ret -> (
+            match go args with
+            | Ok v -> Ok (corrupt_value v)
+            | Error _ as e -> e)
+        | Drop default -> Ok default
+        | Dup -> (
+            match record t (go args) with
+            | Ok _ -> go args
+            | Error _ as e -> e)
+        | Reorder ->
+            (match t.av_prev with
+            | Some prev -> ignore (record t (go prev))
+            | None -> ());
+            go args
+      end
+    in
+    t.av_prev <- Some args;
+    record t result
+  end

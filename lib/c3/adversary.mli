@@ -1,0 +1,62 @@
+(** A seed-deterministic interface adversary: a man-in-the-middle on
+    the stub invocation path (DESIGN.md §3.11).
+
+    The adversary perturbs exactly one invocation of one interface
+    function — the [nth] time the live (non-recovery-walk) path invokes
+    [(iface, fn)] — and from that point on counts every [Error] result
+    crossing its interface as a detection signal. The DST layer uses it
+    to validate the {!Sg_analysis.Taint} verdict table: a {e detected}
+    edge must raise an error signal or nothing, a {e masked} edge must
+    change nothing observable, and a {e silent} edge is one where a
+    perturbation can fail the end-to-end oracle with no signal at the
+    interface.
+
+    Recovery walks are deliberately not hooked: the adversary models a
+    corrupted client/transit value, not a corrupted replay. *)
+
+module Comp = Sg_os.Comp
+
+type action =
+  | Corrupt_arg of int  (** flip identity bits of the i-th argument *)
+  | Corrupt_ret  (** flip identity bits of the returned value *)
+  | Drop of Comp.value
+      (** never reach the server; reply with this type-correct default *)
+  | Dup  (** deliver twice; the client sees the second reply *)
+  | Reorder
+      (** ghost-replay the previous invocation of the same function
+          first, discarding its reply (errors still count), then
+          deliver the real one *)
+
+type t = {
+  av_iface : string;
+  av_fn : string;
+  av_action : action;
+  av_nth : int;  (** fire on the nth matching invocation, 1-based *)
+  mutable av_seen : int;
+  mutable av_fired : bool;
+  mutable av_errors : int;
+  mutable av_prev : Comp.value list option;
+}
+
+val make : iface:string -> fn:string -> action:action -> nth:int -> t
+val fired : t -> bool
+val errors : t -> int
+
+val corrupt_value : Comp.value -> Comp.value
+(** [VInt v] gets identity bits flipped ([lxor 0x2000000]:
+    positive-preserving and page-aligned, so the value stays in-domain
+    and only its identity is wrong); a non-empty [VStr] gets its first
+    byte rotated; anything else is unchanged. *)
+
+val invoke :
+  t ->
+  iface:string ->
+  fn:string ->
+  invoke:(Comp.value list -> Comp.value Comp.outcome) ->
+  Comp.value list ->
+  Comp.value Comp.outcome
+(** The stub hook: route one live invocation through the adversary.
+    [invoke] performs the real server invocation. Fault exceptions from
+    [invoke] propagate unchanged. Reorder waits for a previous
+    invocation of the target function to exist ([av_prev]), even past
+    [nth]. *)

@@ -29,6 +29,7 @@ type t = {
   sb_server : Comp.cid;
   sb_tracker : Tracker.t;
   sb_cfg : config;
+  sb_adversary : Adversary.t option;
   mutable sb_recoveries : int;
 }
 
@@ -246,7 +247,17 @@ let call t sim fn args =
               | Some _ | None -> args_parented)
           | Some _ | None -> args_parented)
     in
-    match Sim.invoke sim ~server:t.sb_server fn args' with
+    match
+      (* the live invocation path is where the DST edge adversary sits:
+         a man-in-the-middle between stub and server (recovery walks go
+         through walk_invoke and are deliberately not hooked) *)
+      (match t.sb_adversary with
+      | None -> Sim.invoke sim ~server:t.sb_server fn args'
+      | Some adv ->
+          Adversary.invoke adv ~iface:cfg.cfg_iface ~fn
+            ~invoke:(fun a -> Sim.invoke sim ~server:t.sb_server fn a)
+            args')
+    with
     | Ok ret ->
         (* cli_if_track: descriptor state tracking on the original
            (client-visible) ids *)
@@ -281,13 +292,14 @@ let call t sim fn args =
 let port t =
   { Port.server = t.sb_server; call = (fun sim fn args -> call t sim fn args) }
 
-let make sim ~client ~server ~flavor cfg =
+let make ?adversary sim ~client ~server ~flavor cfg =
   let t =
     {
       sb_client = client;
       sb_server = server;
       sb_tracker = Tracker.create ~flavor ();
       sb_cfg = cfg;
+      sb_adversary = adversary;
       sb_recoveries = 0;
     }
   in

@@ -77,11 +77,15 @@ exception Walk_interrupted
 type t
 
 val make :
+  ?adversary:Adversary.t ->
   Sg_os.Sim.t -> client:Sg_os.Comp.cid -> server:Sg_os.Comp.cid ->
   flavor:Tracker.flavor -> config -> t
 (** Create the stub and register its recovery upcall
     (["sg_recover:<iface>"]) with the simulator so that server-side stubs
-    and cross-component parents (XCParent, U0/G0) can reach it. *)
+    and cross-component parents (XCParent, U0/G0) can reach it.
+    [adversary] interposes on the live invocation path ({!Adversary}):
+    the same value is shared by every stub of a system so the nth-
+    invocation trigger counts system-wide. *)
 
 val port : t -> Sg_os.Port.t
 (** The invocation port workloads call through. *)

@@ -102,7 +102,7 @@ let app_spec name =
     sc_usage = (fun _ -> None);
   }
 
-let build ?(seed = 42) ?cost ?sched mode =
+let build ?(seed = 42) ?cost ?sched ?adversary mode =
   let sim = Sim.create ?cost ~seed ?sched () in
   let cbufs = Cbuf.create () in
   let storage = Storage.create cbufs in
@@ -188,8 +188,8 @@ let build ?(seed = 42) ?cost ?sched mode =
           | Some s -> s
           | None ->
               let s =
-                Cstub.make sim ~client ~server ~flavor:ss.st_flavor
-                  (ss.st_client ~iface)
+                Cstub.make ?adversary sim ~client ~server
+                  ~flavor:ss.st_flavor (ss.st_client ~iface)
               in
               Hashtbl.replace stubs key s;
               s

@@ -7,6 +7,7 @@
 
 module Rng = Sg_util.Rng
 module Mutate = Sg_analysis.Mutate
+module Taint = Sg_analysis.Taint
 module Compiler = Superglue.Compiler
 module Workloads = Sg_components.Workloads
 
@@ -176,3 +177,133 @@ let replay artifact =
           Ok (o, cls = artifact.Artifact.af_verdict)
       | exception Compiler.Compile_error ds ->
           Error (Compiler.error_to_string ds))
+
+(* ---------- the edge-adversary campaign ---------- *)
+
+(* One run of a Perturb scenario collapses to a four-way observation:
+   the perturbation never reached its edge (unfired); it fired and the
+   run passed with no client-visible error (the system masked it); a
+   client of the perturbed interface saw an Error reply after the fire
+   (detected — the fault escaped, but as a signal, not a value); or the
+   run failed with no such signal (silent corruption, the class the
+   taint pass exists to predict). *)
+type obs = Ob_unfired | Ob_masked | Ob_detected | Ob_silent
+
+let obs_label = function
+  | Ob_unfired -> "unfired"
+  | Ob_masked -> "masked"
+  | Ob_detected -> "detected"
+  | Ob_silent -> "silent"
+
+type adversary_row = {
+  ar_entry : Taint.entry;
+  ar_unfired : int;
+  ar_masked : int;
+  ar_detected : int;
+  ar_silent : int;
+  ar_witness : Exec.scenario option;
+  ar_ok : bool;
+}
+
+let adversary_scenario ~iface ~fn ~field ~nth seed =
+  let sc = scenario_of_seed ~profile:(focus_profile iface) seed in
+  {
+    sc with
+    Exec.sc_plan =
+      [ Plan.Perturb { pb_iface = iface; pb_fn = fn; pb_field = field; pb_nth = nth } ];
+  }
+
+let classify_outcome (o : Exec.outcome) =
+  match o.Exec.oc_adversary with
+  | None -> Ob_unfired
+  | Some a when not a.Exec.ao_fired -> Ob_unfired
+  | Some a when a.Exec.ao_errors > 0 -> Ob_detected
+  | Some _ when Exec.verdict_class o.Exec.oc_verdict = "pass" -> Ob_masked
+  | Some _ -> Ob_silent
+
+(* One verdict-table entry, graded against scenarios at seeds
+   [seed, seed+budget) with the perturbation anchor cycling through
+   invocations 1-3, so the scan covers different workloads and different
+   positions without outrunning the handful of invocations a 10-op
+   scenario makes on one function. The budget is asymmetric: a
+   Masked/Detected claim is graded on exactly [per_entry] scenarios (its
+   gate is the *absence* of silent observations on that pinned set),
+   while a Silent claim hunts a witness and may scan up to 8x that —
+   stopping at the first one, so a dense entry stays cheap and only a
+   sparse witness (a reorder needing two same-descriptor writes in a
+   row, say) spends the extension. *)
+let adversary_row ~seed ~per_entry entry =
+  let iface = entry.Taint.e_iface
+  and fn = entry.Taint.e_fn
+  and field = entry.Taint.e_field in
+  let unf = ref 0 and mas = ref 0 and det = ref 0 and sil = ref 0 in
+  let witness = ref None in
+  let claims_silent = entry.Taint.e_verdict = Taint.Silent in
+  let budget = if claims_silent then per_entry * 8 else per_entry in
+  let rec go k =
+    if k < budget then begin
+      let sc =
+        adversary_scenario ~iface ~fn ~field ~nth:((k mod 3) + 1) (seed + k)
+      in
+      (match classify_outcome (Exec.run sc) with
+      | Ob_unfired -> incr unf
+      | Ob_masked -> incr mas
+      | Ob_detected -> incr det
+      | Ob_silent ->
+          incr sil;
+          if !witness = None then witness := Some sc);
+      if not (claims_silent && !witness <> None) then go (k + 1)
+    end
+  in
+  go 0;
+  {
+    ar_entry = entry;
+    ar_unfired = !unf;
+    ar_masked = !mas;
+    ar_detected = !det;
+    ar_silent = !sil;
+    ar_witness = (if claims_silent then !witness else None);
+    ar_ok = (if claims_silent then !sil >= 1 else !sil = 0);
+  }
+
+(* The confusion-matrix gate (ISSUE: adversary validation): every entry
+   of the pristine verdict table is graded. A row mismatches when a
+   silent claim found no witnessing scenario, or a masked/detected claim
+   produced an unexplained (silent) failure. Detected observations on
+   masked edges are fine — an organic Error reply on the perturbed
+   interface explains the run without contradicting the table. Rows are
+   delivered in table order and are identical at every [jobs]. *)
+let run_adversary ?(jobs = 1) ?(on_row = fun (_ : adversary_row) -> ())
+    ~seed ~per_entry () =
+  let report =
+    Taint.analyze (List.map Compiler.builtin Compiler.builtin_names)
+  in
+  let entries = Array.of_list report.Taint.t_entries in
+  let n = Array.length entries in
+  let rows = ref [] and mismatches = ref 0 in
+  let consume r =
+    rows := r :: !rows;
+    if not r.ar_ok then incr mismatches;
+    on_row r
+  in
+  let row i =
+    adversary_row ~seed:(seed + (i * per_entry * 8)) ~per_entry entries.(i)
+  in
+  if n > 0 then begin
+    (* the first row runs in the calling domain before any worker
+       spawns: it warms the process-wide compile and bounds caches,
+       read-only afterwards (same discipline as [run_seeds]) *)
+    consume (row 0);
+    if jobs <= 1 then
+      for i = 1 to n - 1 do
+        consume (row i)
+      done
+    else
+      Sg_util.Pool.run ~jobs ~count:(n - 1)
+        ~task:(fun ~cancelled:_ i -> row (i + 1))
+        ~consume:(fun _ r ->
+          consume r;
+          Sg_util.Pool.Continue)
+        ()
+  end;
+  (List.rev !rows, !mismatches)

@@ -76,3 +76,56 @@ val replay : Artifact.t -> (Exec.outcome * bool, string) result
 (** Rerun an artifact's scenario against its recorded sut. [Ok (o, b)]:
     the outcome and whether its verdict class matches the recorded one.
     [Error]: unknown sut or mutant compile error. *)
+
+(** {2 The edge-adversary campaign}
+
+    Dynamic validation of the {!Sg_analysis.Taint} verdict table: every
+    (edge, field) entry is replayed against live systems carrying a
+    {!Plan.Perturb} on that edge, and the observed outcome class is
+    checked against the static claim. *)
+
+type obs = Ob_unfired | Ob_masked | Ob_detected | Ob_silent
+    (** What one perturbed run showed: the perturbation never reached
+        its edge; it fired and the run passed signal-free (masked); a
+        client of the perturbed interface saw an [Error] reply after the
+        fire (detected); or the run failed with no such signal (silent
+        corruption). *)
+
+val obs_label : obs -> string
+
+type adversary_row = {
+  ar_entry : Sg_analysis.Taint.entry;
+  ar_unfired : int;
+  ar_masked : int;
+  ar_detected : int;
+  ar_silent : int;  (** observation counts over the entry's budget *)
+  ar_witness : Exec.scenario option;
+      (** first silent-observation scenario, for a Silent claim *)
+  ar_ok : bool;
+      (** Silent claim: a witness was found. Masked/Detected claim: no
+          silent observation in the whole budget. *)
+}
+
+val adversary_scenario :
+  iface:string -> fn:string -> field:string -> nth:int -> int -> Exec.scenario
+(** The scenario grading one table entry at one seed: the seed's
+    focus-profile workload with its plan replaced by the single
+    {!Plan.Perturb}. *)
+
+val classify_outcome : Exec.outcome -> obs
+
+val run_adversary :
+  ?jobs:int ->
+  ?on_row:(adversary_row -> unit) ->
+  seed:int ->
+  per_entry:int ->
+  unit ->
+  adversary_row list * int
+(** Grade the whole pristine verdict table: entry [i] scans scenarios
+    [seed + i*per_entry*8 + k] with the perturbation anchored at
+    invocation [(k mod 3) + 1]. A Masked/Detected claim runs exactly
+    [per_entry] scenarios; a Silent claim hunts its witness over up to
+    [8 * per_entry], stopping at the first. Returns the rows in table
+    order plus the mismatch count. [on_row] is called in the calling
+    domain, in table order; rows and mismatch count are identical at
+    every [jobs]. *)

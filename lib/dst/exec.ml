@@ -27,6 +27,8 @@ module Ir = Superglue.Ir
 module Model = Superglue.Model
 module Mutate = Sg_analysis.Mutate
 module Wcr = Sg_analysis.Wcr
+module Taint = Sg_analysis.Taint
+module Adversary = Sg_c3.Adversary
 
 type workload =
   | Ops of Gen.op list
@@ -47,6 +49,8 @@ type verdict =
   | Fail_over_bound of (string * int * int) list  (* iface, span, bound *)
   | Fail_fatal of string
 
+type adversary_obs = { ao_fired : bool; ao_errors : int }
+
 type outcome = {
   oc_verdict : verdict;
   oc_result : Sim.run_result;
@@ -54,6 +58,7 @@ type outcome = {
   oc_storage_faults : int;
   oc_stream : Sg_obs.Event.t list;
   oc_episodes : Sg_obs.Episode.t list;
+  oc_adversary : adversary_obs option;
 }
 
 let sut_label = function
@@ -195,7 +200,7 @@ let install_plan sys plan pending =
                     { service = cr_service; nth = cr_nth; detector = "dst-crash" })
            | Plan.Double { db_service; db_nth; db_gap } ->
                Some (A_double1 { service = db_service; nth = db_nth; gap = db_gap })
-           | Plan.Storage_write _ -> None)
+           | Plan.Storage_write _ | Plan.Perturb _ -> None)
          plan)
   in
   let total_dispatches = ref 0 in
@@ -263,6 +268,59 @@ let install_plan sys plan pending =
                 raise (Comp.Crash { cid; detector })))
   in
   Sim.set_on_dispatch sim (Some hook)
+
+(* ---------- the edge adversary ---------- *)
+
+(* the reply a dropped invocation fabricates: shaped like the declared
+   return, so strict client wrappers accept it, but carrying the type's
+   initial value (0 / "") — exactly the "fault escapes as a plausible
+   interface value" premise the taint pass grades *)
+let drop_default ir f =
+  if Taint.read_shaped ir f then Comp.VStr ""
+  else if f.Ir.f_retval <> None then Comp.VInt 0
+  else
+    match f.Ir.f_ret with Some "long" -> Comp.VInt 0 | _ -> Comp.VUnit
+
+(* Resolve the first Perturb of the plan against the *builtin* IR (the
+   adversary grades the shipped verdict table, so mutant SUTs still
+   perturb the pristine edge). An unresolvable target — unknown
+   interface, function or field — yields no adversary: the scenario
+   degrades to its fault-free baseline rather than failing. *)
+let adversary_of_plan plan =
+  match
+    List.find_map
+      (function
+        | Plan.Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
+            Some (pb_iface, pb_fn, pb_field, pb_nth)
+        | _ -> None)
+      plan
+  with
+  | None -> None
+  | Some (pb_iface, pb_fn, pb_field, pb_nth) ->
+      if not (List.mem pb_iface Compiler.builtin_names) then None
+      else
+        let ir = (Compiler.builtin pb_iface).Compiler.a_ir in
+        Option.bind (Ir.func ir pb_fn) (fun f ->
+            let action =
+              match pb_field with
+              | "ret" -> Some Adversary.Corrupt_ret
+              | "@drop" -> Some (Adversary.Drop (drop_default ir f))
+              | "@dup" -> Some Adversary.Dup
+              | "@reorder" -> Some Adversary.Reorder
+              | name ->
+                  let rec arg i = function
+                    | [] -> None
+                    | p :: rest ->
+                        if p.Superglue.Ast.pa_name = name then
+                          Some (Adversary.Corrupt_arg i)
+                        else arg (i + 1) rest
+                  in
+                  arg 0 f.Ir.f_params
+            in
+            Option.map
+              (fun action ->
+                Adversary.make ~iface:pb_iface ~fn:pb_fn ~action ~nth:pb_nth)
+              action)
 
 let storage_nths plan =
   List.filter_map
@@ -588,7 +646,8 @@ let iface_name sys cid =
 
 let run ?(sut = Pristine) sc =
   let mode = mode_of_sut sut in
-  let sys = Sysbuild.build ~seed:sc.sc_seed mode in
+  let adversary = adversary_of_plan sc.sc_plan in
+  let sys = Sysbuild.build ~seed:sc.sc_seed ?adversary mode in
   let sim = sys.Sysbuild.sys_sim in
   let events = ref [] in
   Sg_obs.Sink.subscribe (Sim.obs sim) (fun e -> events := e :: !events);
@@ -658,4 +717,9 @@ let run ?(sut = Pristine) sc =
     oc_storage_faults = Storage.write_faults_hit sys.Sysbuild.sys_storage;
     oc_stream = stream;
     oc_episodes = episodes;
+    oc_adversary =
+      Option.map
+        (fun a ->
+          { ao_fired = Adversary.fired a; ao_errors = Adversary.errors a })
+        adversary;
   }

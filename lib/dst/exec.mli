@@ -40,6 +40,13 @@ type verdict =
           an uncaught workload exception (spin guard, dispatch budget)
           or a fatal not matching the last injection's outcome *)
 
+type adversary_obs = {
+  ao_fired : bool;  (** the armed perturbation reached its edge *)
+  ao_errors : int;
+      (** post-fire [Error] replies seen by clients of the perturbed
+          interface — the "detected" signal of an adversary run *)
+}
+
 type outcome = {
   oc_verdict : verdict;
   oc_result : Sg_os.Sim.run_result;
@@ -47,6 +54,8 @@ type outcome = {
   oc_storage_faults : int;  (** armed storage-write faults that fired *)
   oc_stream : Sg_obs.Event.t list;  (** the full event stream, in order *)
   oc_episodes : Sg_obs.Episode.t list;  (** stitched recovery episodes *)
+  oc_adversary : adversary_obs option;
+      (** present iff the plan carried a resolvable {!Plan.Perturb} *)
 }
 
 val sut_label : sut -> string
@@ -61,6 +70,8 @@ val verdict_detail : verdict -> string list
 val services_of_workload : workload -> string list
 
 val run : ?sut:sut -> scenario -> outcome
-(** Build the system, arm the plan (dispatch-hook faults and storage
-    write faults), interpret the workload, run to quiescence and judge.
-    Deterministic in (sut, scenario). *)
+(** Build the system, arm the plan (dispatch-hook faults, storage write
+    faults, and — for a {!Plan.Perturb} — the {!Sg_c3.Adversary} shared
+    by every client stub), interpret the workload, run to quiescence and
+    judge. Deterministic in (sut, scenario). A [Perturb] naming an
+    unknown interface, function or field is inert. *)

@@ -21,6 +21,12 @@ type fault =
   | Storage_write of { sw_nth : int }
   | Crash of { cr_service : string; cr_nth : int }
   | Double of { db_service : string; db_nth : int; db_gap : int }
+  | Perturb of {
+      pb_iface : string;
+      pb_fn : string;
+      pb_field : string;  (* a param name, "ret", "@drop", "@dup", "@reorder" *)
+      pb_nth : int;  (* fires at the first matching invocation >= nth *)
+    }
 
 type config = {
   pc_flip : int;
@@ -116,6 +122,7 @@ let fault_service = function
   | Storage_write _ -> None
   | Crash { cr_service; _ } -> Some cr_service
   | Double { db_service; _ } -> Some db_service
+  | Perturb { pb_iface; _ } -> Some pb_iface
 
 let fault_label = function
   | Flip { fl_service; fl_nth; fl_reg; fl_bit; fl_at_pm } ->
@@ -126,6 +133,8 @@ let fault_label = function
       Printf.sprintf "crash(%s@%d)" cr_service cr_nth
   | Double { db_service; db_nth; db_gap } ->
       Printf.sprintf "double(%s@%d+%d)" db_service db_nth db_gap
+  | Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
+      Printf.sprintf "perturb(%s.%s %s@%d)" pb_iface pb_fn pb_field pb_nth
 
 (* ---------- JSON ---------- *)
 
@@ -150,6 +159,14 @@ let fault_to_json f =
           ("service", Json.Str db_service);
           ("nth", Json.Int db_nth);
           ("gap", Json.Int db_gap);
+        ]
+  | Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
+      o "perturb"
+        [
+          ("service", Json.Str pb_iface);
+          ("fn", Json.Str pb_fn);
+          ("field", Json.Str pb_field);
+          ("nth", Json.Int pb_nth);
         ]
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Json.Parse_error m)) fmt
@@ -188,6 +205,14 @@ let fault_of_json j =
               db_service = get_str j "service";
               db_nth = get_int j "nth";
               db_gap = get_int j "gap";
+            }
+      | "perturb" ->
+          Perturb
+            {
+              pb_iface = get_str j "service";
+              pb_fn = get_str j "fn";
+              pb_field = get_str j "field";
+              pb_nth = get_int j "nth";
             }
       | other -> fail "unknown fault %s" other)
   | _ -> fail "fault object lacks a \"fault\" field"

@@ -29,6 +29,22 @@ type fault =
       (** crash-during-recovery: a first fail-stop at [db_nth], then a
           second one [db_gap] dispatches later — which lands inside the
           recovery the first crash triggered (detector ["dst-double"]) *)
+  | Perturb of {
+      pb_iface : string;
+      pb_fn : string;
+      pb_field : string;
+          (** a parameter name (corrupt that argument), ["ret"] (corrupt
+              the reply) or a delivery pseudo-field: ["@drop"], ["@dup"],
+              ["@reorder"] *)
+      pb_nth : int;
+          (** fires at the first invocation of [(pb_iface, pb_fn)] whose
+              1-based system-wide counter is [>= pb_nth] *)
+    }
+      (** the interface-edge adversary ({!Sg_c3.Adversary}): perturb one
+          live invocation of one interface function. Never drawn by
+          {!generate} — adversary campaigns ([superglue-dst adversary])
+          construct it explicitly to validate the {!Sg_analysis.Taint}
+          verdict table. At most one [Perturb] per plan takes effect. *)
 
 type config = {
   pc_flip : int;

@@ -15,6 +15,7 @@ module Analysis = Sg_analysis.Analysis
 module Sysgraph = Sg_analysis.Sysgraph
 module Wcr = Sg_analysis.Wcr
 module Mutate = Sg_analysis.Mutate
+module Taint = Sg_analysis.Taint
 module Json = Sg_analysis.Json
 module Cost = Sg_kernel.Cost
 
@@ -138,8 +139,14 @@ let test_system_skips_absent () =
    findings of that rule's code than the pristine baseline does. A
    mutant the compiler itself rejects counts as a compile-stage
    detection (SG900-SG902). *)
+(* lint plus the taint pass: SG016-SG019 come from Taint.analyze, so a
+   taint surgery registers as a kill the same way a lint surgery does *)
+let lint_and_taint ?wakeup_deps arts =
+  Analysis.lint ?wakeup_deps arts
+  @ (Taint.analyze ?wakeup_deps arts).Taint.t_diags
+
 let run_campaign () =
-  let baseline = Analysis.lint (pristine ()) in
+  let baseline = lint_and_taint (pristine ()) in
   let kills = Hashtbl.create 16 in
   let record code id =
     let prev = Option.value ~default:[] (Hashtbl.find_opt kills code) in
@@ -159,7 +166,7 @@ let run_campaign () =
               Compiler.builtin_names
           in
           let ds =
-            Analysis.lint
+            lint_and_taint
               ~wakeup_deps:
                 (Sysgraph.default_wakeup_deps @ m.Mutate.m_wiring)
               arts
@@ -190,7 +197,8 @@ let test_every_rule_killed () =
     [
       "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
       "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
-      "SG015"; "SG020"; "compile-error";
+      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020";
+      "compile-error";
     ]
   in
   List.iter
@@ -209,7 +217,9 @@ let test_mutants_never_crash () =
       | exception Compiler.Compile_error _ -> ()
       | a ->
           let ds = Analysis.analyze a in
-          ignore (List.map Diag.to_string ds))
+          ignore (List.map Diag.to_string ds);
+          let r = Taint.analyze [ a ] in
+          ignore (Taint.render r))
     (Mutate.builtin_mutants ())
 
 (* ---------- the JSON report ---------- *)
@@ -409,6 +419,130 @@ let test_inflate_cap_raises_bound () =
           b1 b0
   | _ -> Alcotest.fail "direct bound missing"
 
+(* ---------- the taint verdict table ---------- *)
+
+(* Every interface edge of all six builtins is classified: each function
+   contributes one entry per parameter, one for "ret", one for "@drop",
+   and — unless it blocks — one each for "@dup"/"@reorder". *)
+let test_taint_total_coverage () =
+  let arts = pristine () in
+  let r = Taint.analyze arts in
+  let expected =
+    List.fold_left
+      (fun acc a ->
+        let ir = a.Compiler.a_ir in
+        List.fold_left
+          (fun acc f ->
+            let fn = f.Superglue.Ir.f_name in
+            let blocking =
+              List.mem fn ir.Superglue.Ir.ir_blocks
+              || List.mem fn ir.Superglue.Ir.ir_block_holds
+            in
+            acc
+            + List.length f.Superglue.Ir.f_params
+            + 2
+            + if blocking then 0 else 2)
+          acc ir.Superglue.Ir.ir_funcs)
+      0 arts
+  in
+  Alcotest.(check int) "every edge classified" expected
+    (List.length r.Taint.t_entries);
+  (* the pinned pristine verdict census: a classifier change that shifts
+     any verdict must re-validate against the DST adversary *)
+  let count v =
+    List.length
+      (List.filter (fun e -> e.Taint.e_verdict = v) r.Taint.t_entries)
+  in
+  Alcotest.(check int) "entries" 118 expected;
+  Alcotest.(check int) "masked" 52 (count Taint.Masked);
+  Alcotest.(check int) "detected" 49 (count Taint.Detected);
+  Alcotest.(check int) "silent" 17 (count Taint.Silent);
+  Alcotest.(check (list string)) "pristine is finding-free" []
+    (List.map Diag.to_string r.Taint.t_diags)
+
+let test_taint_json_schema () =
+  let r = Taint.analyze (pristine ()) in
+  let j = Json.parse (Json.to_string (Taint.report_to_json r)) in
+  let int_field name expect =
+    match Json.member name j with
+    | Some (Json.Int n) when n = expect -> ()
+    | v ->
+        Alcotest.failf "field %s: expected %d, got %s" name expect
+          (match v with Some j -> Json.to_string j | None -> "absent")
+  in
+  (match Json.member "schema" j with
+  | Some (Json.Str "sgc-taint") -> ()
+  | _ -> Alcotest.fail "schema field wrong");
+  int_field "version" 1;
+  int_field "fields" (List.length r.Taint.t_entries);
+  int_field "errors" 0;
+  match Json.member "entries" j with
+  | Some (Json.List es) ->
+      Alcotest.(check int) "entries array" (List.length r.Taint.t_entries)
+        (List.length es);
+      List.iter2
+        (fun ej e ->
+          List.iter
+            (fun (name, v) ->
+              match Json.member name ej with
+              | Some (Json.Str s) when s = v -> ()
+              | _ -> Alcotest.failf "entry field %s lost" name)
+            [
+              ("iface", e.Taint.e_iface);
+              ("fn", e.Taint.e_fn);
+              ("field", e.Taint.e_field);
+              ("verdict", Taint.verdict_to_string e.Taint.e_verdict);
+            ])
+        es r.Taint.t_entries
+  | _ -> Alcotest.fail "entries array lost"
+
+(* Property: the taint pass is total and deterministic over the whole
+   mutant corpus — analyzing any compiling mutant (substituted into the
+   builtin artifact set) never raises and yields the same report twice. *)
+let prop_taint_total_deterministic =
+  let corpus =
+    lazy
+      (Array.of_list
+         (List.filter_map
+            (fun m ->
+              match
+                Compiler.compile ~name:m.Mutate.m_iface m.Mutate.m_source
+              with
+              | exception Compiler.Compile_error _ -> None
+              | a ->
+                  Some
+                    ( m.Mutate.m_id,
+                      List.map
+                        (fun n ->
+                          if n = m.Mutate.m_iface then a
+                          else Compiler.builtin n)
+                        Compiler.builtin_names,
+                      m.Mutate.m_wiring ))
+            (Mutate.builtin_mutants ())))
+  in
+  QCheck.Test.make
+    ~name:"taint pass total and deterministic over builtins + every mutant"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(int_range (-1) 1000)
+       ~print:string_of_int)
+    (fun i ->
+      let id, arts, wiring =
+        if i < 0 then ("pristine", pristine (), [])
+        else
+          let c = Lazy.force corpus in
+          c.(i mod Array.length c)
+      in
+      let wakeup_deps = Sysgraph.default_wakeup_deps @ wiring in
+      let r1 = Taint.analyze ~wakeup_deps arts in
+      let r2 = Taint.analyze ~wakeup_deps arts in
+      if r1 <> r2 then QCheck.Test.fail_reportf "%s: nondeterministic" id;
+      List.for_all
+        (fun e ->
+          ignore (Taint.verdict_to_string e.Taint.e_verdict);
+          e.Taint.e_reason <> "")
+        r1.Taint.t_entries)
+
 (* ---------- the rule table ---------- *)
 
 let test_rule_table () =
@@ -435,7 +569,8 @@ let test_rules_documented () =
     [
       "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
       "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
-      "SG015"; "SG020"; "SG900"; "SG901"; "SG902";
+      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020"; "SG900";
+      "SG901"; "SG902";
     ]
   in
   Alcotest.(check (list string))
@@ -530,7 +665,7 @@ let test_fixtures () =
     |> List.filter (fun f -> Filename.check_suffix f ".sgidl")
     |> List.sort compare
   in
-  if List.length files < 12 then
+  if List.length files < 16 then
     Alcotest.failf "fixture corpus too small: %d files" (List.length files);
   List.iter
     (fun f ->
@@ -544,7 +679,10 @@ let test_fixtures () =
               (String.concat " " got)
       | a -> (
           let wakeup_deps, boot_order = fixture_system path in
-          let ds = Analysis.lint ?wakeup_deps ?boot_order [ a ] in
+          let ds =
+            Analysis.lint ?wakeup_deps ?boot_order [ a ]
+            @ (Taint.analyze ?wakeup_deps ?boot_order [ a ]).Taint.t_diags
+          in
           match expect with
           | "clean" ->
               Alcotest.(check (list string))
@@ -599,6 +737,13 @@ let () =
             test_drop_cap_unbounds;
           Alcotest.test_case "inflating the cap raises the bound" `Quick
             test_inflate_cap_raises_bound;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "every builtin edge classified" `Quick
+            test_taint_total_coverage;
+          Alcotest.test_case "JSON schema" `Quick test_taint_json_schema;
+          QCheck_alcotest.to_alcotest prop_taint_total_deterministic;
         ] );
       ( "rules",
         [

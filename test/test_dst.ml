@@ -118,11 +118,80 @@ let test_plan_json_roundtrip () =
     Plan.generate ~config:Plan.default_config
       ~services:[ "sched"; "fs"; "evt" ] rng
   in
+  (* Perturb is never drawn by generate, so round-trip it explicitly *)
+  let plan =
+    Plan.Perturb
+      { pb_iface = "fs"; pb_fn = "twrite"; pb_field = "@drop"; pb_nth = 2 }
+    :: plan
+  in
   List.iter
     (fun f ->
       let f' = Plan.fault_of_json (Plan.fault_to_json f) in
       Alcotest.(check bool) "fault json roundtrip" true (f = f'))
     plan
+
+(* ------------------------------------------------------------------ *)
+(* The edge adversary                                                  *)
+
+(* the canonical silent edge: fs.twrite's plain data payload, witnessed
+   at the seed the pinned check.sh campaign finds it at *)
+let silent_scenario () =
+  Dst.adversary_scenario ~iface:"fs" ~fn:"twrite" ~field:"data" ~nth:2 8057
+
+let test_adversary_deterministic () =
+  let sc = silent_scenario () in
+  let o1 = Exec.run sc and o2 = Exec.run sc in
+  Alcotest.(check string) "verdict stable"
+    (Exec.verdict_class o1.Exec.oc_verdict)
+    (Exec.verdict_class o2.Exec.oc_verdict);
+  (match (o1.Exec.oc_adversary, o2.Exec.oc_adversary) with
+  | Some a1, Some a2 ->
+      Alcotest.(check bool) "fired stable" a1.Exec.ao_fired a2.Exec.ao_fired;
+      Alcotest.(check int) "errors stable" a1.Exec.ao_errors a2.Exec.ao_errors
+  | _ -> Alcotest.fail "adversary observation missing");
+  Alcotest.(check string) "same obs class"
+    (Dst.obs_label (Dst.classify_outcome o1))
+    (Dst.obs_label (Dst.classify_outcome o2))
+
+let test_adversary_silent_witness () =
+  (* the corrupted write crosses unobserved: no error reply anywhere,
+     only the end-to-end read-back oracle fails *)
+  let o = Exec.run (silent_scenario ()) in
+  Alcotest.(check string) "silent observation" "silent"
+    (Dst.obs_label (Dst.classify_outcome o))
+
+let test_adversary_masked () =
+  (* sched_create.prio is captured replay metadata: recovery regenerates
+     it, so corrupting it never surfaces. Scan a few seeds — whether the
+     edge is exercised depends on the workload — and require every fired
+     run to be masked. *)
+  let fired = ref 0 in
+  for seed = 500 to 511 do
+    let sc =
+      Dst.adversary_scenario ~iface:"sched" ~fn:"sched_create" ~field:"prio"
+        ~nth:1 seed
+    in
+    match Dst.classify_outcome (Exec.run sc) with
+    | Dst.Ob_unfired -> ()
+    | Dst.Ob_masked -> incr fired
+    | o ->
+        Alcotest.failf "seed %d: masked edge observed %s" seed
+          (Dst.obs_label o)
+  done;
+  if !fired = 0 then Alcotest.fail "edge never exercised"
+
+let test_adversary_unfired () =
+  (* an anchor far beyond any invocation count never fires, and an
+     unfired perturbation must leave the run clean *)
+  let sc =
+    Dst.adversary_scenario ~iface:"lock" ~fn:"lock_alloc" ~field:"@drop"
+      ~nth:100000 42
+  in
+  let o = Exec.run sc in
+  Alcotest.(check string) "unfired" "unfired"
+    (Dst.obs_label (Dst.classify_outcome o));
+  Alcotest.(check string) "run unaffected" "pass"
+    (Exec.verdict_class o.Exec.oc_verdict)
 
 (* ------------------------------------------------------------------ *)
 (* Pristine campaign: fixed seed window is clean                       *)
@@ -407,6 +476,17 @@ let () =
             test_gen_json_roundtrip;
           Alcotest.test_case "plan json roundtrip" `Quick
             test_plan_json_roundtrip;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "perturbed run deterministic" `Quick
+            test_adversary_deterministic;
+          Alcotest.test_case "silent witness reproduces" `Quick
+            test_adversary_silent_witness;
+          Alcotest.test_case "masked edge stays masked" `Quick
+            test_adversary_masked;
+          Alcotest.test_case "overshot anchor is inert" `Quick
+            test_adversary_unfired;
         ] );
       ( "campaign",
         [

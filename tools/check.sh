@@ -162,4 +162,32 @@ rc=0
 [ "$rc" -eq 1 ]
 cmp "$tmpdir/dst_fail.json" "$tmpdir/dst_fail_j2.json"
 
+echo "== taint gate: sgc taint over the six builtins is finding-free"
+# exits 1 on any SG016-SG019 finding, 2 on compile errors
+./_build/default/bin/sgc.exe taint --builtins > /dev/null
+./_build/default/bin/sgc.exe taint --json --builtins > "$tmpdir/taint.json"
+python3 - "$tmpdir/taint.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["version"] == 1 and r["schema"] == "sgc-taint"
+assert r["errors"] == 0 and r["diagnostics"] == []
+assert r["edges"] == 23 and r["fields"] == 118
+assert r["masked"] + r["detected"] + r["silent"] == r["fields"]
+assert len(r["entries"]) == r["fields"]
+for e in r["entries"]:
+    assert e["verdict"] in ("masked", "detected", "silent")
+    assert e["iface"] and e["fn"] and e["field"] and e["reason"]
+EOF
+
+echo "== adversary gate: pinned campaign matches the static verdicts, -j independent"
+# every silent verdict gets a witness, no masked/detected edge fails
+# silently (exit 1 on any mismatch), and the full report is
+# byte-identical across job counts
+./_build/default/bin/dst.exe adversary --seed 1000 --per-entry 18 -j 1 \
+    > "$tmpdir/adv_j1.out"
+./_build/default/bin/dst.exe adversary --seed 1000 --per-entry 18 -j 2 \
+    > "$tmpdir/adv_j2.out"
+cmp "$tmpdir/adv_j1.out" "$tmpdir/adv_j2.out"
+grep -q "118 entr(ies), 17 witness(es), 0 mismatch(es)" "$tmpdir/adv_j1.out"
+
 echo "== tier-1 gate OK"
