@@ -479,6 +479,109 @@ let campaign_scale () =
         "}";
       ])
 
+(* The open-loop web harness at benchmark scale: one fault-period sweep
+   (fault-free, 3ms, 1ms) per jobs level, with the campaign-scale
+   determinism gate — every jobs level must reproduce the exact j=1
+   outcomes, histograms and all — plus a tail-latency sanity gate
+   (p50 <= p99 <= p999 per population). *)
+let web_tail () =
+  hr "bench web-tail: open-loop load, recovery-under-load tail latency";
+  let module Loadgen = Sg_web.Loadgen in
+  let module Reqjoin = Sg_obs.Reqjoin in
+  let module Hist = Sg_obs.Hist in
+  let mode = Superglue.Stubset.mode in
+  (* warm the process-wide compile caches outside the timed region *)
+  List.iter
+    (fun i -> ignore (Superglue.Compiler.builtin i))
+    Superglue.Compiler.builtin_names;
+  let requests = if !quick then 4_000 else 40_000 in
+  let cfg = { Loadgen.default with Loadgen.lg_requests = requests } in
+  let periods = [ None; Some 3_000_000; Some 1_000_000 ] in
+  let total = requests * List.length periods in
+  let run_sweep jobs =
+    wall (fun () -> Loadgen.sweep ~jobs ~mode ~periods cfg)
+  in
+  let results = List.map (fun j -> (j, run_sweep j)) !jobs_list in
+  let _, (ref_rows, base_s) = List.hd results in
+  Printf.printf "%-6s %12s %10s %14s %10s\n" "jobs" "requests" "wall s"
+    "req/s (wall)" "speedup";
+  List.iter
+    (fun (j, (rows, s)) ->
+      (* determinism gate: outcomes identical at every -j *)
+      assert (rows = ref_rows);
+      Printf.printf "%-6d %12d %10.3f %14.0f %10.2fx\n" j total s
+        (float_of_int total /. s)
+        (base_s /. s))
+    results;
+  Printf.printf "\n%-9s %7s %8s %9s %9s %7s %10s %10s %10s %12s\n" "period"
+    "faults" "reboots" "offered/s" "served/s" "drops" "clean p50" "clean p99"
+    "clean p999" "shadowed p99";
+  let sane h =
+    Hist.n h = 0
+    || Hist.percentile h 0.50 <= Hist.percentile h 0.99
+       && Hist.percentile h 0.99 <= Hist.percentile h 0.999
+  in
+  List.iter
+    (fun (o : Loadgen.outcome) ->
+      let t = o.Loadgen.oc_join in
+      assert (sane t.Reqjoin.tj_clean && sane t.Reqjoin.tj_shadowed);
+      Printf.printf "%-9s %7d %8d %9.0f %9.0f %7d %10d %10d %10d %12d\n"
+        (match o.Loadgen.oc_fault_period_ns with
+        | None -> "none"
+        | Some ns -> Printf.sprintf "%dms" (ns / 1_000_000))
+        o.Loadgen.oc_result.Loadgen.lr_faults o.Loadgen.oc_reboots
+        (Reqjoin.offered_rps t) (Reqjoin.served_rps t) t.Reqjoin.tj_dropped
+        (Hist.percentile t.Reqjoin.tj_clean 0.50)
+        (Hist.percentile t.Reqjoin.tj_clean 0.99)
+        (Hist.percentile t.Reqjoin.tj_clean 0.999)
+        (Hist.percentile t.Reqjoin.tj_shadowed 0.99))
+    ref_rows;
+  let path = Option.value !out_path ~default:"BENCH_web.json" in
+  write_json path
+    ([
+       "{";
+       Printf.sprintf "  \"bench\": \"web-tail\",";
+       Printf.sprintf "  \"quick\": %b," !quick;
+       Printf.sprintf "  \"requests\": %d," requests;
+       Printf.sprintf "  \"mode\": \"superglue\",";
+       Printf.sprintf "  \"host_cores\": %d,"
+         (Domain.recommended_domain_count ());
+       "  \"jobs\": [";
+     ]
+    @ (List.mapi
+         (fun i (j, (_, s)) ->
+           Printf.sprintf
+             "    {\"j\": %d, \"wall_s\": %.6f, \"req_per_s\": %.0f, \
+              \"speedup_vs_j1\": %.3f}%s"
+             j s
+             (float_of_int total /. s)
+             (base_s /. s)
+             (if i = List.length results - 1 then "" else ","))
+         results)
+    @ [ "  ],"; "  \"rows\": [" ]
+    @ (List.mapi
+         (fun i (o : Loadgen.outcome) ->
+           let t = o.Loadgen.oc_join in
+           Printf.sprintf
+             "    {\"fault_period_ms\": %d, \"faults\": %d, \"reboots\": %d, \
+              \"offered_rps\": %.1f, \"served_rps\": %.1f, \"dropped\": %d, \
+              \"clean_p50_ns\": %d, \"clean_p99_ns\": %d, \"clean_p999_ns\": \
+              %d, \"shadowed_p99_ns\": %d, \"shadowed_p999_ns\": %d}%s"
+             (match o.Loadgen.oc_fault_period_ns with
+             | None -> 0
+             | Some ns -> ns / 1_000_000)
+             o.Loadgen.oc_result.Loadgen.lr_faults o.Loadgen.oc_reboots
+             (Reqjoin.offered_rps t) (Reqjoin.served_rps t)
+             t.Reqjoin.tj_dropped
+             (Hist.percentile t.Reqjoin.tj_clean 0.50)
+             (Hist.percentile t.Reqjoin.tj_clean 0.99)
+             (Hist.percentile t.Reqjoin.tj_clean 0.999)
+             (Hist.percentile t.Reqjoin.tj_shadowed 0.99)
+             (Hist.percentile t.Reqjoin.tj_shadowed 0.999)
+             (if i = List.length ref_rows - 1 then "" else ","))
+         ref_rows)
+    @ [ "  ]"; "}" ])
+
 let all =
   [
     ("fig6a", fig6a);
@@ -491,6 +594,7 @@ let all =
     ("micro", micro);
     ("sched", sched_perf);
     ("campaign-scale", campaign_scale);
+    ("web-tail", web_tail);
   ]
 
 let () =

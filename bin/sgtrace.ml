@@ -9,7 +9,10 @@
                     and print the summary
    sgtrace profile  stitch the stream into recovery episodes and print
                     per-episode timelines, critical paths and the
-                    per-component attribution table (or --json) *)
+                    per-component attribution table (or --json)
+   sgtrace tail     join Http_req spans against the stream's recovery
+                    episodes: clean vs fault-shadowed latency, per-episode
+                    tail impact, throughput and queue depth (or --json) *)
 
 open Cmdliner
 module Sim = Sg_os.Sim
@@ -215,6 +218,24 @@ let profile file json =
       else Format.printf "%a@?" Sg_obs.Profile.pp eps;
       0
 
+let tail file json =
+  match load_events file with
+  | exception Sg_obs.Jsonl.Parse_error msg ->
+      Printf.eprintf "sgtrace: parse error: %s\n" msg;
+      2
+  | exception Sys_error msg ->
+      Printf.eprintf "sgtrace: %s\n" msg;
+      2
+  | events ->
+      let t = Sg_obs.Reqjoin.of_events events in
+      if json then
+        print_endline
+          (Printf.sprintf "{\"schema\":\"sg-reqjoin\",\"version\":%d,\"join\":%s}"
+             Sg_obs.Reqjoin.json_version
+             (Sg_obs.Reqjoin.to_json t))
+      else Format.printf "%a@?" Sg_obs.Reqjoin.pp t;
+      0
+
 let dump_cmd =
   let term =
     Term.(
@@ -253,10 +274,25 @@ let profile_cmd =
           $(b,--json)).")
     term
 
+let tail_cmd =
+  let term = Term.(const tail $ file_arg $ json_arg) in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Join the stream's Http_req spans against its recovery episodes: \
+          clean vs fault-shadowed latency populations, per-episode tail \
+          impact, offered-vs-served throughput and queue-depth profile (or \
+          a versioned JSON report with $(b,--json)).")
+    term
+
 let () =
   let info =
     Cmd.info "sgtrace"
-      ~doc:"Structured recovery-trace tooling (dump, check, summary, profile)"
+      ~doc:
+        "Structured recovery-trace tooling (dump, check, summary, profile, \
+         tail)"
   in
   exit
-    (Cmd.eval' (Cmd.group info [ dump_cmd; check_cmd; summary_cmd; profile_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ dump_cmd; check_cmd; summary_cmd; profile_cmd; tail_cmd ]))

@@ -39,8 +39,11 @@ let focus_profile iface =
 
 let scenario_of_seed ?(profile = default_profile) seed =
   let rng = Rng.create seed in
-  let wl_rng = Rng.split rng in
-  let plan_rng = Rng.split rng in
+  let wl_rng, plan_rng =
+    match Rng.streams rng 2 with
+    | [| a; b |] -> (a, b)
+    | _ -> assert false
+  in
   let classic =
     profile.pf_classic_every > 0 && seed mod profile.pf_classic_every = 0
   in

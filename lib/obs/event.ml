@@ -40,6 +40,15 @@ type kind =
       outcome : string;
     }
   | Http of { cid : int; path : string; status : int }
+  | Http_req of {
+      cid : int;
+      client : int;
+      arrival_ns : int;
+      start_ns : int;
+      finish_ns : int;
+      status : int;
+      outcome : string;
+    }
   | Note of { name : string; data : string }
 
 type t = { seq : int; at_ns : int; tid : int; kind : kind }
@@ -59,6 +68,7 @@ let kind_name = function
   | Storage_op _ -> "storage_op"
   | Inject _ -> "inject"
   | Http _ -> "http"
+  | Http_req _ -> "http_req"
   | Note _ -> "note"
 
 (* the bounded recovery ring (and the legacy [Sim.trace] view on it)
@@ -74,7 +84,8 @@ let is_recovery_relevant = function
   | Crash _ | Reboot _ | Divert _ | Upcall _ | Walk_begin _ | Walk_end _
   | Recover_begin _ | Recover_end _ | Inject _ ->
       true
-  | Span_begin _ | Span_end _ | Reflect _ | Storage_op _ | Http _ | Note _ ->
+  | Span_begin _ | Span_end _ | Reflect _ | Storage_op _ | Http _ | Http_req _
+  | Note _ ->
       false
 
 let pp ppf e =
@@ -111,6 +122,12 @@ let pp ppf e =
           outcome
     | Http { cid; path; status } ->
         Printf.sprintf "http component %d %s -> %d" cid path status
+    | Http_req { cid; client; arrival_ns; start_ns; finish_ns; status; outcome }
+      ->
+        Printf.sprintf
+          "http_req component %d client %d arrive=%d start=%d finish=%d -> %d \
+           (%s)"
+          cid client arrival_ns start_ns finish_ns status outcome
     | Note { name; data } -> Printf.sprintf "note %s: %s" name data
   in
   Format.fprintf ppf "[%8d ns] #%d tid=%d %s" e.at_ns e.seq e.tid k

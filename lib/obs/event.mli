@@ -45,6 +45,18 @@ type kind =
       outcome : string;
     }  (** SWIFI bit-flip activated, with its classified outcome *)
   | Http of { cid : int; path : string; status : int }
+  | Http_req of {
+      cid : int;  (** the serving (http) component *)
+      client : int;  (** simulated client id, open-loop population *)
+      arrival_ns : int;  (** virtual arrival instant (open-loop offered) *)
+      start_ns : int;  (** dequeued: service began *)
+      finish_ns : int;  (** response done ([= start_ns] for drops) *)
+      status : int;  (** HTTP status; 0 when no response was produced *)
+      outcome : string;  (** "ok", "error", "dropped" or "failed" *)
+    }
+      (** one open-loop request span, emitted at finish time; the
+          latency attributed to the request is [finish_ns - arrival_ns]
+          (sojourn: queueing + service) *)
   | Note of { name : string; data : string }  (** free-form annotation *)
 
 type t = { seq : int; at_ns : int; tid : int; kind : kind }

@@ -57,6 +57,17 @@ let fields_of_kind = function
       ]
   | Event.Http { cid; path; status } ->
       [ ("cid", I cid); ("path", S path); ("status", I status) ]
+  | Event.Http_req { cid; client; arrival_ns; start_ns; finish_ns; status; outcome }
+    ->
+      [
+        ("cid", I cid);
+        ("client", I client);
+        ("arrival_ns", I arrival_ns);
+        ("start_ns", I start_ns);
+        ("finish_ns", I finish_ns);
+        ("status", I status);
+        ("outcome", S outcome);
+      ]
   | Event.Note { name; data } -> [ ("name", S name); ("data", S data) ]
 
 let to_string (e : Event.t) =
@@ -278,6 +289,17 @@ let of_string line =
     | "http" ->
         Event.Http
           { cid = int_f f "cid"; path = str_f f "path"; status = int_f f "status" }
+    | "http_req" ->
+        Event.Http_req
+          {
+            cid = int_f f "cid";
+            client = int_f f "client";
+            arrival_ns = int_f f "arrival_ns";
+            start_ns = int_f f "start_ns";
+            finish_ns = int_f f "finish_ns";
+            status = int_f f "status";
+            outcome = str_f f "outcome";
+          }
     | "note" -> Event.Note { name = str_f f "name"; data = str_f f "data" }
     | k -> fail "unknown event kind %s" k
   in

@@ -23,6 +23,8 @@ type t = {
   outcomes : (string, int) Hashtbl.t;
   mutable http_requests : int;
   mutable http_errors : int;
+  mutable http_reqs_total : int;  (* open-loop request spans (Http_req) *)
+  sojourn_hist : Hist.t;  (* Http_req finish - arrival, queueing included *)
   span_hist : Hist.t;
   walk_hist : Hist.t;
   first_access_hist : Hist.t;
@@ -59,6 +61,8 @@ let create () =
     outcomes = Hashtbl.create 8;
     http_requests = 0;
     http_errors = 0;
+    http_reqs_total = 0;
+    sojourn_hist = Hist.create ();
     span_hist = Hist.create ();
     walk_hist = Hist.create ();
     first_access_hist = Hist.create ();
@@ -143,6 +147,9 @@ let feed_raw t ~at_ns ~tid kind =
   | Event.Http { status; _ } ->
       t.http_requests <- t.http_requests + 1;
       if status >= 400 then t.http_errors <- t.http_errors + 1
+  | Event.Http_req { arrival_ns; finish_ns; _ } ->
+      t.http_reqs_total <- t.http_reqs_total + 1;
+      Hist.add t.sojourn_hist (finish_ns - arrival_ns)
   | Event.Note _ -> ()
 
 let feed t (e : Event.t) =
@@ -181,6 +188,8 @@ let outcome_count t s = get t.outcomes s
 let reboot_ns_total t = t.reboot_ns_total
 let http_requests t = t.http_requests
 let http_errors t = t.http_errors
+let http_reqs t = t.http_reqs_total
+let sojourn_hist t = t.sojourn_hist
 let span_hist t = t.span_hist
 let walk_hist t = t.walk_hist
 let first_access_hist t = t.first_access_hist
@@ -203,6 +212,8 @@ let pp_summary ppf t =
   if t.http_requests > 0 then
     Format.fprintf ppf "http requests      %d (%d errors)@." t.http_requests
       t.http_errors;
+  if t.http_reqs_total > 0 then
+    Format.fprintf ppf "request sojourn    %a@." Hist.pp t.sojourn_hist;
   Format.fprintf ppf "span latency       %a@." Hist.pp t.span_hist;
   Format.fprintf ppf "walk latency       %a@." Hist.pp t.walk_hist;
   Format.fprintf ppf "first-access lat.  %a@." Hist.pp t.first_access_hist

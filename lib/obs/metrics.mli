@@ -38,6 +38,13 @@ val outcome_count : t -> string -> int
 val reboot_ns_total : t -> int
 val http_requests : t -> int
 val http_errors : t -> int
+
+val http_reqs : t -> int
+(** Open-loop request spans ({!Event.Http_req}) folded so far. *)
+
+val sojourn_hist : t -> Hist.t
+(** Arrival-to-finish latency of open-loop requests (queueing included). *)
+
 val span_hist : t -> Hist.t
 val walk_hist : t -> Hist.t
 

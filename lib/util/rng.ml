@@ -16,6 +16,17 @@ let int64 t =
   mix64 t.state
 
 let split t = { state = int64 t }
+
+let streams t n =
+  if n < 0 then invalid_arg "Rng.streams: negative count";
+  (* explicit loop: the draw order (hence every stream's state) must be
+     stream 0 first, whatever Array.init would do *)
+  let a = Array.make n t in
+  for i = 0 to n - 1 do
+    a.(i) <- split t
+  done;
+  a
+
 let copy t = { state = t.state }
 
 let int t bound =

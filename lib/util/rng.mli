@@ -17,6 +17,13 @@ val split : t -> t
     Used to give each subsystem its own stream so that adding draws in one
     subsystem does not perturb another. *)
 
+val streams : t -> int -> t array
+(** [streams t n] is [n] successive {!split}s of [t], in order: the
+    master-split discipline shared by the DST scenario generator and
+    the open-loop load generator. [streams t n = [| split t; ... |]]
+    with stream 0 derived first, so prepending a stream never perturbs
+    the existing ones. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state of [t]. *)
 

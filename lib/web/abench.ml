@@ -109,6 +109,17 @@ type bucket = { b_start_s : float; b_rps : float; b_crashes : int }
 
 let timeline sys server =
   let samples = List.rev !(server.Server.ws_timeline) in
+  (* coalesce equal-timestamp samples to the last (cumulative) count —
+     the old pass silently dropped the whole pair, losing the bucket *)
+  let samples =
+    List.rev
+      (List.fold_left
+         (fun acc ((t, _) as s) ->
+           match acc with
+           | (t', _) :: rest when t' = t -> s :: rest
+           | _ -> s :: acc)
+         [] samples)
+  in
   let crashes =
     List.filter_map
       (fun e ->
@@ -116,15 +127,27 @@ let timeline sys server =
         | `Failed _ -> Some e.Sim.tv_at_ns
         | `Microreboot | `Upcall _ -> None)
       (Sim.trace sys.Sysbuild.sys_sim)
+    |> Array.of_list
   in
+  Array.sort compare crashes;
+  (* samples and crashes are both time-sorted: one advancing cursor
+     attributes each crash to its bucket, O(samples + crashes) instead
+     of rescanning the crash list per bucket *)
+  let ci = ref 0 in
+  let nc = Array.length crashes in
   let rec buckets acc = function
-    | (t0, n0) :: ((t1, n1) :: _ as rest) when t1 > t0 ->
+    | (t0, n0) :: ((t1, n1) :: _ as rest) ->
         let rps =
           float_of_int (n1 - n0) /. Sg_kernel.Clock.s_of_ns (t1 - t0)
         in
-        let crashed =
-          List.length (List.filter (fun c -> c >= t0 && c < t1) crashes)
-        in
+        while !ci < nc && crashes.(!ci) < t0 do
+          incr ci
+        done;
+        let first = !ci in
+        while !ci < nc && crashes.(!ci) < t1 do
+          incr ci
+        done;
+        let crashed = !ci - first in
         buckets
           ({ b_start_s = Sg_kernel.Clock.s_of_ns t0; b_rps = rps; b_crashes = crashed }
           :: acc)

@@ -11,6 +11,7 @@ module Check = Sg_obs.Check
 module Metrics = Sg_obs.Metrics
 module Episode = Sg_obs.Episode
 module Profile = Sg_obs.Profile
+module Reqjoin = Sg_obs.Reqjoin
 
 (* hand-build a stream: (at_ns, tid, kind) triples, seq auto-assigned *)
 let stream l =
@@ -137,8 +138,10 @@ let test_hist_empty_and_singleton () =
   Alcotest.(check (float 1e-9)) "singleton mean" 5.0 (Hist.mean h);
   Alcotest.(check int) "singleton min" 5 (Hist.min_value h);
   Alcotest.(check int) "singleton max" 5 (Hist.max_value h);
-  (* bucket_of 5 = 3, upper = 7, clamped to the observed max *)
+  (* bucket_of 5 = 3, interpolation lands on the [4,7] bucket top,
+     clamped to the observed max *)
   Alcotest.(check int) "singleton p99 clamps to max" 5 (Hist.percentile h 0.99);
+  Alcotest.(check (float 1e-9)) "singleton stddev" 0.0 (Hist.stddev h);
   Hist.clear h;
   Alcotest.(check int) "clear resets" 0 (Hist.n h)
 
@@ -147,10 +150,17 @@ let test_hist_percentiles () =
   List.iter (Hist.add h) [ 1; 2; 3; 100 ];
   Alcotest.(check int) "n" 4 (Hist.n h);
   Alcotest.(check int) "sum" 106 (Hist.sum h);
-  (* cum counts: bucket1=1, bucket2=3, bucket7=4; p50 needs >= 2 *)
-  Alcotest.(check int) "p50 reports its bucket's upper bound" 3
+  (* cum counts: bucket1=1, bucket2=3, bucket7=4; p50 needs rank 2,
+     which is the first of bucket [2,3]'s two samples: interpolation
+     puts it halfway across the bucket, int-floored to 2 *)
+  Alcotest.(check int) "p50 interpolates within its bucket" 2
     (Hist.percentile h 0.5);
-  Alcotest.(check int) "p100 clamps to max" 100 (Hist.percentile h 1.0)
+  (* rank 3 is the bucket's last sample: the bucket top *)
+  Alcotest.(check int) "p75 reaches the bucket top" 3 (Hist.percentile h 0.75);
+  Alcotest.(check int) "p100 clamps to max" 100 (Hist.percentile h 1.0);
+  let mean = 106.0 /. 4.0 in
+  let var = ((1.0 +. 4.0 +. 9.0 +. 10000.0) /. 4.0) -. (mean *. mean) in
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt var) (Hist.stddev h)
 
 let test_hist_merge () =
   (* merging two empties keeps the sentinels inert *)
@@ -191,6 +201,89 @@ let test_hist_merge () =
     (Hist.bucket_of max_int)
     (Hist.bucket_of (max_int - 1))
 
+let test_hist_log_linear () =
+  (* k = 2: m = 4 sub-buckets per octave; values below 2m = 8 are exact *)
+  let mode = Hist.Log_linear 2 in
+  let h = Hist.create ~mode () in
+  Alcotest.(check bool) "mode round-trips" true (Hist.mode h = mode);
+  for v = 0 to 7 do
+    let lo, hi = Hist.bounds_of_mode mode v in
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "value %d is exact" v)
+      (v, v) (lo, hi)
+  done;
+  (* octave [8,16) is cut into 4 sub-buckets of width 2 at indices 8..11 *)
+  List.iter
+    (fun (i, b) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "bounds of bucket %d" i)
+        b
+        (Hist.bounds_of_mode mode i))
+    [ (8, (8, 9)); (9, (10, 11)); (11, (14, 15)); (12, (16, 19)) ];
+  (* indexing is monotone and consistent with the bounds *)
+  List.iter
+    (fun v ->
+      Hist.add h v;
+      let i =
+        match Hist.buckets_list h with [ (i, 1) ] -> i | _ -> assert false
+      in
+      let lo, hi = Hist.bounds_of_mode mode i in
+      Alcotest.(check bool)
+        (Printf.sprintf "value %d within its bucket [%d,%d]" v lo hi)
+        true
+        (lo <= v && v <= hi);
+      Hist.clear h)
+    [ 1; 7; 8; 9; 15; 16; 31; 32; 1_000; 1_000_000; 1 lsl 40; max_int ];
+  (* relative resolution: bucket width <= lo / m for every octave *)
+  List.iter
+    (fun v ->
+      Hist.add h v;
+      let i =
+        match Hist.buckets_list h with [ (i, 1) ] -> i | _ -> assert false
+      in
+      let lo, hi = Hist.bounds_of_mode mode i in
+      Alcotest.(check bool)
+        (Printf.sprintf "value %d bucket width bounds rel. error" v)
+        true
+        (hi - lo <= max 1 (lo / 4));
+      Hist.clear h)
+    [ 100; 10_000; 123_456_789; 1 lsl 50 ];
+  (* mixed-mode merge is rejected: it cannot be exact *)
+  Alcotest.check_raises "mixed-mode merge rejected"
+    (Invalid_argument "Hist.merge: histograms use different bucketing modes")
+    (fun () -> Hist.merge h (Hist.create ()))
+
+(* merge of per-domain histograms must equal the histogram of the
+   concatenated samples — counts, moments and every percentile — in
+   both bucketing modes (the [Pool]/[Pardriver] determinism contract) *)
+let prop_hist_merge_exact =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (oneofl [ Hist.Log2; Hist.Log_linear 2; Hist.Log_linear 5 ])
+        (list_size (int_range 0 40) (int_range (-5) 2_000_000))
+        (list_size (int_range 0 40) (int_range (-5) 2_000_000)))
+  in
+  QCheck.Test.make ~count:500 ~name:"hist merge = hist of concatenation"
+    (QCheck.make gen) (fun (mode, xs, ys) ->
+      let a = Hist.create ~mode () and b = Hist.create ~mode () in
+      List.iter (Hist.add a) xs;
+      List.iter (Hist.add b) ys;
+      let m = Hist.create ~mode () in
+      Hist.merge m a;
+      Hist.merge m b;
+      let direct = Hist.create ~mode () in
+      List.iter (Hist.add direct) (xs @ ys);
+      Hist.buckets_list m = Hist.buckets_list direct
+      && Hist.n m = Hist.n direct
+      && Hist.sum m = Hist.sum direct
+      && Hist.min_value m = Hist.min_value direct
+      && Hist.max_value m = Hist.max_value direct
+      && Float.abs (Hist.stddev m -. Hist.stddev direct) < 1e-6
+      && List.for_all
+           (fun p -> Hist.percentile m p = Hist.percentile direct p)
+           [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
 let test_hist_buckets_list () =
   let h = Hist.create () in
   Alcotest.(check (list (pair int int))) "empty buckets" [] (Hist.buckets_list h);
@@ -221,6 +314,16 @@ let all_kinds =
     E.Storage_op { op = "put_slice"; space = "fs"; id = 366080704 };
     E.Inject { cid = 7; fn = "fs\\read"; reg = "r11"; bit = 31; outcome = "hang" };
     E.Http { cid = 9; path = "/index.html?q=\x01"; status = 404 };
+    E.Http_req
+      {
+        cid = 9;
+        client = 712_554;
+        arrival_ns = 1_000;
+        start_ns = 1_250;
+        finish_ns = 63_400;
+        status = 200;
+        outcome = "ok";
+      };
     E.Note { name = "marker"; data = "a\"b\\c\r\nd" };
   ]
 
@@ -567,6 +670,12 @@ let gen_kind =
       map
         (fun (cid, path, status) -> E.Http { cid; path; status })
         (triple i gen_str i);
+      map
+        (fun ((cid, client, arrival_ns), (start_ns, finish_ns, status), outcome)
+           ->
+          E.Http_req
+            { cid; client; arrival_ns; start_ns; finish_ns; status; outcome })
+        (triple (triple i i i) (triple i i i) gen_str);
       map (fun (name, data) -> E.Note { name; data }) (pair gen_str gen_str);
     ]
 
@@ -590,7 +699,7 @@ let prop_jsonl_covers_all_kinds () =
   for _ = 1 to 3000 do
     Hashtbl.replace seen (E.kind_name (gen_kind st)) ()
   done;
-  Alcotest.(check int) "all 15 constructors generated" 15 (Hashtbl.length seen)
+  Alcotest.(check int) "all 16 constructors generated" 16 (Hashtbl.length seen)
 
 (* ---------- episode stitching & profiling ---------- *)
 
@@ -722,6 +831,72 @@ let test_profile_attribution () =
   Alcotest.(check bool) "json carries the attribution" true
     (contains "\"attribution\"" json)
 
+(* ---------- request/episode join ---------- *)
+
+(* the canned single-crash episode of [episode_stream] (detect=5,
+   end=25) with request spans on every side of it *)
+let test_reqjoin_attribution () =
+  let req ~client ~arrival ~start ~finish ~status ~outcome =
+    E.Http_req
+      {
+        cid = 40;
+        client;
+        arrival_ns = arrival;
+        start_ns = start;
+        finish_ns = finish;
+        status;
+        outcome;
+      }
+  in
+  let events =
+    stream
+      ((0, 3, req ~client:100 ~arrival:0 ~start:0 ~finish:3 ~status:200 ~outcome:"ok")
+       :: (2, 3, req ~client:101 ~arrival:2 ~start:2 ~finish:10 ~status:200 ~outcome:"ok")
+       :: (6, 3, req ~client:102 ~arrival:6 ~start:8 ~finish:24 ~status:200 ~outcome:"ok")
+       :: (7, 3, req ~client:103 ~arrival:7 ~start:7 ~finish:7 ~status:503 ~outcome:"dropped")
+       :: (30, 3, req ~client:104 ~arrival:30 ~start:30 ~finish:40 ~status:200 ~outcome:"ok")
+      :: List.map (fun e -> (e.E.at_ns, e.E.tid, e.E.kind)) episode_stream)
+  in
+  let t = Reqjoin.of_events events in
+  Alcotest.(check int) "offered" 5 t.Reqjoin.tj_offered;
+  Alcotest.(check int) "served" 4 t.Reqjoin.tj_served;
+  Alcotest.(check int) "dropped" 1 t.Reqjoin.tj_dropped;
+  Alcotest.(check int) "no errors or failures" 0
+    (t.Reqjoin.tj_errors + t.Reqjoin.tj_failed);
+  Alcotest.(check int) "window spans first arrival to last finish" 40
+    t.Reqjoin.tj_window_ns;
+  (* [0,3] precedes and [30,40] follows the [5,25] episode window;
+     [2,10], [6,24] and the instantaneous drop at 7 overlap it *)
+  Alcotest.(check int) "clean population" 2 (Hist.n t.Reqjoin.tj_clean);
+  Alcotest.(check int) "shadowed population" 3 (Hist.n t.Reqjoin.tj_shadowed);
+  match t.Reqjoin.tj_episodes with
+  | [ e ] ->
+      Alcotest.(check int) "crashed component" 7 e.Reqjoin.ei_cid;
+      Alcotest.(check int) "detect" 5 e.Reqjoin.ei_detect_ns;
+      Alcotest.(check int) "end" 25 e.Reqjoin.ei_end_ns;
+      Alcotest.(check bool) "complete" true e.Reqjoin.ei_complete;
+      Alcotest.(check int) "three shadowed requests" 3 e.Reqjoin.ei_requests;
+      (* sojourns 8, 18 and 0: exact sub-64 buckets in log-linear mode *)
+      Alcotest.(check int) "episode p99" 18 e.Reqjoin.ei_p99_ns;
+      Alcotest.(check int) "episode max" 18 e.Reqjoin.ei_max_ns;
+      Alcotest.(check (float 0.01)) "episode mean" (26.0 /. 3.0)
+        e.Reqjoin.ei_mean_ns
+  | eps -> Alcotest.failf "expected 1 episode impact, got %d" (List.length eps)
+
+let test_reqjoin_json () =
+  let t = Reqjoin.of_events episode_stream in
+  (* no requests: counts are zero but the report still renders *)
+  let json = Reqjoin.to_json t in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "offered zero" true (contains "\"offered\":0" json);
+  Alcotest.(check bool) "episode row present" true
+    (contains "\"episodes_total\":1" json);
+  Alcotest.(check int) "version" 1 Reqjoin.json_version
+
 let () =
   Alcotest.run "obs"
     [
@@ -742,6 +917,8 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
           Alcotest.test_case "merge" `Quick test_hist_merge;
           Alcotest.test_case "buckets_list" `Quick test_hist_buckets_list;
+          Alcotest.test_case "log-linear mode" `Quick test_hist_log_linear;
+          QCheck_alcotest.to_alcotest prop_hist_merge_exact;
         ] );
       ( "jsonl",
         [
@@ -750,7 +927,7 @@ let () =
           Alcotest.test_case "rejects malformed lines" `Quick
             test_jsonl_rejects_garbage;
           QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
-          Alcotest.test_case "generator covers all 15 kinds" `Quick
+          Alcotest.test_case "generator covers all 16 kinds" `Quick
             prop_jsonl_covers_all_kinds;
         ] );
       ( "check",
@@ -789,5 +966,12 @@ let () =
             test_profile_phases_and_critical_path;
           Alcotest.test_case "attribution and reporting" `Quick
             test_profile_attribution;
+        ] );
+      ( "reqjoin",
+        [
+          Alcotest.test_case "tail attribution on a canned trace" `Quick
+            test_reqjoin_attribution;
+          Alcotest.test_case "empty-request report renders" `Quick
+            test_reqjoin_json;
         ] );
     ]

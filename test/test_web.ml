@@ -92,6 +92,125 @@ let test_apache_reference () =
   Alcotest.(check bool) "around the paper's 17600" true
     (r.Abench.ab_rps > 17_000.0 && r.Abench.ab_rps < 18_500.0)
 
+let test_timeline_coalesce () =
+  let sys = Sysbuild.build Superglue.Stubset.mode in
+  let server = Server.install sys in
+  let r = Abench.run ~fault_period_ns:3_000_000 ~requests:3_000 sys server in
+  let b0 = Abench.timeline sys server in
+  Alcotest.(check bool) "has buckets" true (List.length b0 > 0);
+  let bucketed =
+    List.fold_left (fun acc b -> acc + b.Abench.b_crashes) 0 b0
+  in
+  Alcotest.(check bool) "crashes attributed to buckets" true
+    (bucketed > 0 && bucketed <= r.Abench.ab_faults);
+  (* an equal-timestamp sample pair coalesces to the last (cumulative)
+     count — the old pass silently dropped both, skewing the buckets *)
+  (match List.rev !(server.Server.ws_timeline) with
+  | (t0, _) :: _ ->
+      (* stored newest-first: appending puts the stale duplicate
+         chronologically before the real first sample *)
+      server.Server.ws_timeline := !(server.Server.ws_timeline) @ [ (t0, 0) ]
+  | [] -> Alcotest.fail "empty timeline");
+  let b1 = Abench.timeline sys server in
+  Alcotest.(check bool) "buckets unchanged after coalescing" true (b0 = b1)
+
+(* ---------- open-loop load generation ---------- *)
+
+module Loadgen = Sg_web.Loadgen
+module Reqjoin = Sg_obs.Reqjoin
+module Hist = Sg_obs.Hist
+
+let small_cfg =
+  { Loadgen.default with Loadgen.lg_requests = 1_500; lg_seed = 11 }
+
+let test_open_loop_fault_free () =
+  let o = Loadgen.run_open ~mode:Superglue.Stubset.mode small_cfg in
+  let t = o.Loadgen.oc_join in
+  Alcotest.(check int) "offered = requests" small_cfg.Loadgen.lg_requests
+    t.Reqjoin.tj_offered;
+  Alcotest.(check int) "all served" t.Reqjoin.tj_offered t.Reqjoin.tj_served;
+  Alcotest.(check int) "no episodes" 0 (List.length t.Reqjoin.tj_episodes);
+  Alcotest.(check int) "clean population is everything"
+    (Hist.n t.Reqjoin.tj_all)
+    (Hist.n t.Reqjoin.tj_clean);
+  Alcotest.(check int) "no shadowed requests" 0 (Hist.n t.Reqjoin.tj_shadowed);
+  Alcotest.(check int) "no reboots" 0 o.Loadgen.oc_reboots;
+  Alcotest.(check bool) "latency is positive" true
+    (Hist.percentile t.Reqjoin.tj_all 0.5 > 0)
+
+let test_open_loop_under_faults () =
+  let o =
+    Loadgen.run_open ~mode:Superglue.Stubset.mode
+      ~fault_period_ns:2_000_000 small_cfg
+  in
+  let t = o.Loadgen.oc_join in
+  Alcotest.(check bool) "faults injected" true
+    (o.Loadgen.oc_result.Loadgen.lr_faults > 0);
+  Alcotest.(check bool) "reboots happened" true (o.Loadgen.oc_reboots > 0);
+  Alcotest.(check bool) "episodes stitched" true
+    (List.length t.Reqjoin.tj_episodes > 0);
+  Alcotest.(check bool) "some requests fault-shadowed" true
+    (Hist.n t.Reqjoin.tj_shadowed > 0);
+  Alcotest.(check int) "populations partition all"
+    (Hist.n t.Reqjoin.tj_all)
+    (Hist.n t.Reqjoin.tj_clean + Hist.n t.Reqjoin.tj_shadowed);
+  Alcotest.(check int) "outcome counts partition offered" t.Reqjoin.tj_offered
+    (t.Reqjoin.tj_served + t.Reqjoin.tj_errors + t.Reqjoin.tj_dropped
+   + t.Reqjoin.tj_failed);
+  Alcotest.(check bool) "some episode saw requests" true
+    (List.exists (fun e -> e.Reqjoin.ei_requests > 0) t.Reqjoin.tj_episodes)
+
+let test_open_loop_determinism () =
+  let periods = [ None; Some 3_000_000 ] in
+  let s1 =
+    Loadgen.sweep ~jobs:1 ~mode:Superglue.Stubset.mode ~periods small_cfg
+  in
+  let s2 =
+    Loadgen.sweep ~jobs:2 ~mode:Superglue.Stubset.mode ~periods small_cfg
+  in
+  Alcotest.(check bool) "outcomes identical at -j 1 and -j 2" true (s1 = s2);
+  let render os =
+    String.concat "\n"
+      (List.map (fun o -> Reqjoin.to_json o.Loadgen.oc_join) os)
+  in
+  Alcotest.(check string) "reports byte-identical" (render s1) (render s2)
+
+let prop_interarrival_poisson =
+  QCheck.Test.make ~name:"poisson interarrival mean tracks the rate" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rate_rps = 10_000.0 in
+      let n = 2_000 in
+      let gaps =
+        Loadgen.interarrivals (Loadgen.Poisson { rate_rps }) ~seed ~n
+      in
+      let mean =
+        float_of_int (Array.fold_left ( + ) 0 gaps) /. float_of_int n
+      in
+      let expect = 1e9 /. rate_rps in
+      (* the sample mean of 2000 exponential draws is within a few
+         percent of the true mean; 20% bounds never flake *)
+      mean > 0.8 *. expect && mean < 1.2 *. expect)
+
+let prop_interarrival_bursty =
+  QCheck.Test.make ~name:"bursty interarrival mean between the state rates"
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let base_rps = 5_000.0 and burst_rps = 50_000.0 in
+      let n = 2_000 in
+      let gaps =
+        Loadgen.interarrivals
+          (Loadgen.Bursty { base_rps; burst_rps; quiet_ms = 10.0; burst_ms = 5.0 })
+          ~seed ~n
+      in
+      let mean =
+        float_of_int (Array.fold_left ( + ) 0 gaps) /. float_of_int n
+      in
+      Array.for_all (fun g -> g >= 1) gaps
+      && mean < 1.2 *. (1e9 /. base_rps)
+      && mean > 0.8 *. (1e9 /. burst_rps))
+
 let () =
   Alcotest.run "sg_web"
     [
@@ -109,5 +228,18 @@ let () =
           Alcotest.test_case "base dies under faults" `Quick test_base_dies_under_faults;
           Alcotest.test_case "stub cost ordering" `Quick test_stub_modes_cost_more;
           Alcotest.test_case "apache reference" `Quick test_apache_reference;
+          Alcotest.test_case "timeline coalesces equal timestamps" `Quick
+            test_timeline_coalesce;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "fault-free open loop" `Quick
+            test_open_loop_fault_free;
+          Alcotest.test_case "tail attribution under faults" `Quick
+            test_open_loop_under_faults;
+          Alcotest.test_case "sweep deterministic across jobs" `Quick
+            test_open_loop_determinism;
+          QCheck_alcotest.to_alcotest prop_interarrival_poisson;
+          QCheck_alcotest.to_alcotest prop_interarrival_bursty;
         ] );
     ]

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Campaign-throughput regression gate (tools/check.sh).
+"""Benchmark-regression gate (tools/check.sh).
 
-Compares a freshly generated BENCH_campaign.json against the committed
+Compares a freshly generated BENCH_*.json against the committed
 baseline:
 
   bench_diff.py COMMITTED FRESH
 
-Fails (exit 1) when
+Dispatches on the report's "bench" field (the two reports must agree):
+
+campaign-scale — fails (exit 1) when
 
   - the fresh j=1 throughput (injections/s) regresses more than 20%
     against the committed baseline,
@@ -14,6 +16,16 @@ Fails (exit 1) when
     fresh j=1 throughput (parallelism must not be a pessimization where
     the cores exist to use it; skipped with a message on smaller hosts),
   - the fresh run's verify_bounds pass reported any violation.
+
+web-tail — fails (exit 1) when
+
+  - the fresh j=1 wall throughput (req/s) regresses more than 20%
+    against the committed baseline,
+  - any row's tail ordering is violated (clean p50 <= p99 <= p999),
+  - the fault-free row reports faults, reboots or a shadowed tail.
+
+  (No j=4 gate: the sweep has only three points, so parallel speedup is
+  bounded by the slowest simulation, not by core count.)
 
 The committed baseline is a full (non --quick) run; check.sh passes a
 --quick run as FRESH. A --quick run is sub-second and startup-dominated
@@ -28,47 +40,43 @@ import json
 import sys
 
 
-def ips(report, j):
+def rate(report, j, key):
     for row in report["jobs"]:
         if row["j"] == j:
-            return row["injections_per_s"]
+            return row[key]
     return None
 
 
-def main():
-    if len(sys.argv) != 3:
-        print("usage: bench_diff.py COMMITTED FRESH", file=sys.stderr)
-        return 2
-    committed = json.load(open(sys.argv[1]))
-    fresh = json.load(open(sys.argv[2]))
-    for r in (committed, fresh):
-        if r.get("bench") != "campaign-scale":
-            print("bench_diff: not a campaign-scale report: %s" % r.get("bench"),
-                  file=sys.stderr)
-            return 2
+def j1_fence(committed, fresh, key, unit):
+    """Shared j=1 throughput fence; returns (rc, fresh_j1)."""
     same_scale = committed.get("quick") == fresh.get("quick")
     floor = 0.80 if same_scale else 0.50
     if not same_scale:
         print("bench_diff: note: fresh quick=%s vs committed quick=%s — "
               "using the cross-scale 2x fence"
               % (fresh.get("quick"), committed.get("quick")))
-
-    rc = 0
-    base = ips(committed, 1)
-    cur = ips(fresh, 1)
+    base = rate(committed, 1, key)
+    cur = rate(fresh, 1, key)
     if base is None or cur is None:
         print("bench_diff: missing j=1 row", file=sys.stderr)
-        return 2
+        return 2, None
     ratio = cur / base
-    print("bench_diff: j=1 throughput %.0f/s vs committed %.0f/s (%.2fx, "
-          "floor %.2fx)" % (cur, base, ratio, floor))
+    print("bench_diff: j=1 throughput %.0f %s vs committed %.0f %s (%.2fx, "
+          "floor %.2fx)" % (cur, unit, base, unit, ratio, floor))
     if ratio < floor:
         print("bench_diff: FAIL j=1 throughput regressed below the fence",
               file=sys.stderr)
-        rc = 1
+        return 1, cur
+    return 0, cur
+
+
+def check_campaign(committed, fresh):
+    rc, cur = j1_fence(committed, fresh, "injections_per_s", "inj/s")
+    if rc == 2:
+        return 2
 
     cores = fresh.get("host_cores", 1)
-    j4 = ips(fresh, 4)
+    j4 = rate(fresh, 4, "injections_per_s")
     if cores >= 4:
         if j4 is None:
             print("bench_diff: FAIL no j=4 row on a %d-core host" % cores,
@@ -90,6 +98,51 @@ def main():
               file=sys.stderr)
         rc = 1
     return rc
+
+
+def check_web_tail(committed, fresh):
+    rc, _ = j1_fence(committed, fresh, "req_per_s", "req/s")
+    if rc == 2:
+        return 2
+
+    rows = fresh.get("rows", [])
+    if not rows:
+        print("bench_diff: FAIL fresh web-tail report has no rows",
+              file=sys.stderr)
+        return 1
+    for row in rows:
+        if not (row["clean_p50_ns"] <= row["clean_p99_ns"]
+                <= row["clean_p999_ns"]):
+            print("bench_diff: FAIL tail ordering violated in row %r" % row,
+                  file=sys.stderr)
+            rc = 1
+        if row["fault_period_ms"] == 0:
+            if row["faults"] or row["reboots"] or row["shadowed_p99_ns"]:
+                print("bench_diff: FAIL fault-free row reports faults/"
+                      "reboots/shadowed tail: %r" % row, file=sys.stderr)
+                rc = 1
+    print("bench_diff: web-tail rows: %d, tail ordering ok" % len(rows))
+    return rc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_diff.py COMMITTED FRESH", file=sys.stderr)
+        return 2
+    committed = json.load(open(sys.argv[1]))
+    fresh = json.load(open(sys.argv[2]))
+    kinds = {r.get("bench") for r in (committed, fresh)}
+    if len(kinds) != 1:
+        print("bench_diff: mismatched bench kinds: %s" % sorted(kinds),
+              file=sys.stderr)
+        return 2
+    kind = kinds.pop()
+    if kind == "campaign-scale":
+        return check_campaign(committed, fresh)
+    if kind == "web-tail":
+        return check_web_tail(committed, fresh)
+    print("bench_diff: unknown bench kind: %s" % kind, file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

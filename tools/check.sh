@@ -190,4 +190,53 @@ echo "== adversary gate: pinned campaign matches the static verdicts, -j indepen
 cmp "$tmpdir/adv_j1.out" "$tmpdir/adv_j2.out"
 grep -q "118 entr(ies), 17 witness(es), 0 mismatch(es)" "$tmpdir/adv_j1.out"
 
+echo "== webbench gate: open-loop sg-webbench report validates"
+./_build/default/bin/webbench.exe open-loop --requests 2000 --seed 42 \
+    --fault-period-ms 0,3 --json -j 1 > "$tmpdir/webbench_j1.json"
+python3 - "$tmpdir/webbench_j1.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "sg-webbench" and r["version"] == 1
+assert r["mode"] == "superglue" and r["requests"] == 2000
+assert [run["fault_period_ms"] for run in r["runs"]] == [0, 3]
+for run in r["runs"]:
+    j = run["join"]
+    assert (j["offered"] == j["served"] + j["errors"] + j["dropped"]
+            + j["failed"] == r["requests"])
+    for pop in ("all", "clean", "shadowed"):
+        lat = j["latency"][pop]
+        if lat["n"]:
+            assert (lat["min_ns"] <= lat["p50_ns"] <= lat["p99_ns"]
+                    <= lat["p999_ns"] <= lat["max_ns"])
+clean = r["runs"][0]["join"]
+assert clean["episodes_total"] == 0 and clean["latency"]["shadowed"]["n"] == 0
+faulted = r["runs"][1]["join"]
+assert faulted["episodes_total"] >= 1
+assert faulted["latency"]["shadowed"]["n"] >= 1
+assert len(faulted["episodes"]) == faulted["episodes_total"]
+assert any(e["requests"] > 0 for e in faulted["episodes"])
+EOF
+
+echo "== webbench gate: open-loop report byte-identical at -j 1 and -j 2"
+./_build/default/bin/webbench.exe open-loop --requests 2000 --seed 42 \
+    --fault-period-ms 0,3 --json -j 2 > "$tmpdir/webbench_j2.json"
+cmp "$tmpdir/webbench_j1.json" "$tmpdir/webbench_j2.json"
+
+echo "== perf smoke: bench web-tail --quick writes valid BENCH_web.json"
+./_build/default/bench/main.exe web-tail --quick \
+    --out "$tmpdir/BENCH_web.json" > /dev/null
+python3 - "$tmpdir/BENCH_web.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["bench"] == "web-tail" and r["quick"] is True
+assert r["mode"] == "superglue" and r["requests"] >= 1
+assert [row["j"] for row in r["jobs"]] == [1, 2, 4]
+for row in r["jobs"]:
+    assert row["wall_s"] > 0 and row["req_per_s"] > 0
+assert [row["fault_period_ms"] for row in r["rows"]] == [0, 3, 1]
+EOF
+
+echo "== perf gate: fresh web-tail throughput against the committed baseline"
+python3 tools/bench_diff.py BENCH_web.json "$tmpdir/BENCH_web.json"
+
 echo "== tier-1 gate OK"
