@@ -13,7 +13,11 @@
                          grade the static taint verdict table (sgc
                          taint) against live perturbed runs: one
                          Plan.Perturb per scenario, confusion-matrix
-                         gate over the whole table *)
+                         gate over the whole table
+   superglue-dst race    grade the static race verdict table (sgc race)
+                         against sustained recovery-racing perturbed
+                         runs: crash the walker, perturb every in-walk
+                         invocation of the pair's edge *)
 
 open Cmdliner
 module Dst = Sg_dst.Dst
@@ -24,6 +28,7 @@ module Artifact = Sg_dst.Artifact
 module Shrink = Sg_dst.Shrink
 module Mutate = Sg_analysis.Mutate
 module Taint = Sg_analysis.Taint
+module Race = Sg_analysis.Race
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"First seed.")
@@ -263,6 +268,66 @@ let adversary_cmd_fn seed per_entry jobs out_dir quiet =
     (List.length rows) (List.length witnesses) mismatches seed per_entry;
   if mismatches > 0 then 1 else 0
 
+let race_per_entry_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "per-entry" ] ~docv:"K"
+        ~doc:
+          "Scenario budget per race-table pair: seeds and crash anchors \
+           scanned before a claim is graded.")
+
+let race_seed_arg =
+  Arg.(
+    value & opt int 1100
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed of the campaign.")
+
+let race_cmd_fn seed per_entry jobs out_dir quiet =
+  let witnesses = ref [] in
+  let on_row r =
+    let e = r.Dst.ra_entry in
+    if not quiet then
+      Printf.printf "%-6s %-8s %-18s %-7s %-10s u=%d m=%d d=%d s=%d %s\n"
+        e.Race.r_walker e.Race.r_iface e.Race.r_fn e.Race.r_phase
+        (Race.verdict_to_string e.Race.r_verdict)
+        r.Dst.ra_unfired r.Dst.ra_masked r.Dst.ra_detected r.Dst.ra_silent
+        (if r.Dst.ra_ok then "ok" else "MISMATCH");
+    match r.Dst.ra_witness with
+    | Some sc -> witnesses := (e, sc) :: !witnesses
+    | None -> ()
+  in
+  let rows, mismatches = Dst.run_race ~jobs ~on_row ~seed ~per_entry () in
+  let witnesses = List.rev !witnesses in
+  List.iter
+    (fun ((e : Race.entry), sc) ->
+      let artifact, stats = Dst.shrink_to_artifact ~jobs sc in
+      Printf.printf
+        "witness walk(%s) vs %s.%s [%s]: seed=%d shrunk to %s (%d removed, \
+         %d evals)\n"
+        e.Race.r_walker e.Race.r_iface e.Race.r_fn e.Race.r_field
+        sc.Exec.sc_seed artifact.Artifact.af_verdict stats.Shrink.sh_removed
+        stats.Shrink.sh_evals;
+      match out_dir with
+      | None -> ()
+      | Some dir ->
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "race_%s_%s_%s.json" e.Race.r_walker
+                 e.Race.r_iface e.Race.r_fn)
+          in
+          Artifact.save path artifact)
+    witnesses;
+  let racy =
+    List.length
+      (List.filter
+         (fun r -> r.Dst.ra_entry.Race.r_verdict = Race.Racy)
+         rows)
+  in
+  Printf.printf
+    "race: %d pair(s), %d racy, %d witness(es), %d mismatch(es), seed=%d \
+     per-entry=%d\n"
+    (List.length rows) racy (List.length witnesses) mismatches seed per_entry;
+  if mismatches > 0 then 1 else 0
+
 let mutants_cmd_fn () =
   List.iter
     (fun m -> Printf.printf "%s\n" m.Mutate.m_id)
@@ -303,6 +368,16 @@ let mutants_cmd =
     (Cmd.info "mutants" ~doc:"List the builtin mutants.")
     Term.(const mutants_cmd_fn $ const ())
 
+let race_cmd =
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Validate the static race verdict table against sustained \
+          recovery-racing perturbed runs.")
+    Term.(
+      const race_cmd_fn $ race_seed_arg $ race_per_entry_arg $ jobs_arg
+      $ out_dir_arg $ quiet_arg)
+
 let adversary_cmd =
   Cmd.v
     (Cmd.info "adversary"
@@ -319,4 +394,4 @@ let () =
     Cmd.info "superglue-dst" ~version:"1.0"
       ~doc:"Property-based DST campaigns with shrinking for SuperGlue."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; shrink_cmd; replay_cmd; mutants_cmd; adversary_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; shrink_cmd; replay_cmd; mutants_cmd; adversary_cmd; race_cmd ]))

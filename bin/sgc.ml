@@ -18,9 +18,10 @@ module Diag = Superglue.Diag
 module Analysis = Sg_analysis.Analysis
 module Json = Sg_analysis.Json
 
-let exit_ok = 0
-let exit_findings = 1
-let exit_compile_error = 2
+(* the report CLIs share the analyzer's exit-code convention *)
+let exit_ok = Json.exit_ok
+let exit_findings = Json.exit_findings
+let exit_compile_error = Json.exit_compile_error
 
 let load source builtin =
   match (source, builtin) with
@@ -306,6 +307,56 @@ let taint_cmd =
           compile errors.")
     Term.(ret (const run $ files_arg $ builtins_flag $ json_flag))
 
+let race_cmd =
+  let files_arg =
+    Arg.(
+      value
+      & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Interface specifications (.sgidl).")
+  in
+  let builtins_flag =
+    Arg.(
+      value & flag
+      & info [ "builtins" ]
+          ~doc:"Also analyze the six embedded system interfaces.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the verdict table as JSON on stdout.")
+  in
+  let run files builtins json =
+    if files = [] && not builtins then
+      `Error (true, "give at least one FILE or --builtins")
+    else
+      match
+        List.map Compiler.compile_file files
+        @ (if builtins then List.map Compiler.builtin Compiler.builtin_names
+           else [])
+      with
+      | artifacts ->
+          let report = Sg_analysis.Race.analyze artifacts in
+          if json then
+            print_endline
+              (Json.to_string (Sg_analysis.Race.report_to_json report))
+          else print_string (Sg_analysis.Race.render report);
+          `Ok
+            (if Diag.has_errors report.Sg_analysis.Race.r_diags then
+               exit_findings
+             else exit_ok)
+      | exception Compiler.Compile_error ds ->
+          List.iter print_diag ds;
+          `Ok exit_compile_error
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Classify every (recovery walk, concurrent invocation edge) \
+          pair as isolated, serialized or racy over the walk's phase \
+          intervals, and report SG021-SG025 interference findings. \
+          Exit 0 if no finding, 1 if any, 2 on compile errors.")
+    Term.(ret (const run $ files_arg $ builtins_flag $ json_flag))
+
 let () =
   let info =
     Cmd.info "sgc" ~version:"1.0"
@@ -322,4 +373,5 @@ let () =
             lint_cmd;
             bound_cmd;
             taint_cmd;
+            race_cmd;
           ]))

@@ -41,6 +41,15 @@ let rules =
     ("SG018", Diag.Error, "tainted value can reach a descriptor-table key");
     ("SG019", Diag.Error, "storage-read taint survives reboot unregenerated");
     ("SG020", Diag.Info, "post-state recovered by state-class collapsing");
+    (* SG021-SG025 are emitted by the race pass (Race.analyze /
+       `sgc race`): they grade recovery-walk interference windows —
+       what a concurrent invocation can do to descriptor state a walk
+       holds or rebuilds — rather than replay soundness. *)
+    ("SG021", Diag.Error, "captured data with no state-machine role races the walk");
+    ("SG022", Diag.Error, "untracked data-plane access defeats replay ordering");
+    ("SG023", Diag.Error, "wakeup payload lost in a mid-walk epoch");
+    ("SG024", Diag.Error, "tracker mutation outside the walk lock discipline");
+    ("SG025", Diag.Error, "unserialized multi-edge collusion on a shared service");
     ("SG900", Diag.Error, "lexical error");
     ("SG901", Diag.Error, "syntax error");
     ("SG902", Diag.Error, "semantic error");

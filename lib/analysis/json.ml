@@ -238,3 +238,10 @@ let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
 let versioned_report ~schema ~version fields =
   Obj (("version", Int version) :: ("schema", Str schema) :: fields)
+
+(* The exit-code convention every report CLI (`sgc lint`, `sgc bound`,
+   `sgc taint`, `sgc race`) shares: 0 clean, 1 findings, 2 the
+   compiler rejected the input. *)
+let exit_ok = 0
+let exit_findings = 1
+let exit_compile_error = 2

@@ -23,6 +23,12 @@ val member : string -> t -> t option
 
 val versioned_report : schema:string -> version:int -> (string * t) list -> t
 (** The canonical envelope shared by every [sgc] report schema
-    ("sgc-lint", "sgc-bound", "sgc-taint"): a top-level object whose
-    first two fields are always [version] then [schema], followed by
-    the schema-specific fields in the given order. *)
+    ("sgc-lint", "sgc-bound", "sgc-taint", "sgc-race"): a top-level
+    object whose first two fields are always [version] then [schema],
+    followed by the schema-specific fields in the given order. *)
+
+val exit_ok : int
+val exit_findings : int
+val exit_compile_error : int
+(** The exit-code convention every report CLI shares: 0 clean, 1
+    error-severity findings (or an unbounded pair), 2 compile error. *)

@@ -284,6 +284,64 @@ let smuggle_field ir src =
         src
   | _ -> None
 
+(* SG023 bait: make a wakeup function capture a datum — wrap its first
+   plain parameter in desc_data(), so a delivery landing in a mid-walk
+   epoch carries a payload the walk's tracking commit overwrites. *)
+let laden_wakeup ir src =
+  let module Ir = Superglue.Ir in
+  List.find_map
+    (fun wk ->
+      Option.bind (Ir.func ir wk) (fun f ->
+          List.find_map
+            (fun p ->
+              if p.Superglue.Ast.pa_attr = Superglue.Ast.APlain then
+                let field =
+                  Printf.sprintf "%s %s" p.Superglue.Ast.pa_type
+                    p.Superglue.Ast.pa_name
+                in
+                on_decl_line wk
+                  (fun l ->
+                    Option.map
+                      (fun l' -> [ l' ])
+                      (replace_once ~from:field
+                         ~by:(Printf.sprintf "desc_data(%s)" field)
+                         l))
+                  src
+              else None)
+            f.Ir.f_params))
+    ir.Ir.ir_wakeups
+
+(* SG024 bait: strip the descriptor argument from the first update that
+   captures data — the stub loses the anchor the recover-first (T1)
+   discipline routes through, so its tracking mutation is unlocked. *)
+let unanchor_update ir src =
+  let module Ir = Superglue.Ir in
+  let captures f =
+    f.Ir.f_retval <> None
+    || List.exists
+         (fun p -> p.Superglue.Ast.pa_attr = Superglue.Ast.ADescData)
+         f.Ir.f_params
+  in
+  List.find_map
+    (fun f ->
+      let fn = f.Ir.f_name in
+      if Ir.is_create ir fn || Ir.is_terminal ir fn || not (captures f) then
+        None
+      else
+        List.find_map
+          (fun p ->
+            if p.Superglue.Ast.pa_attr = Superglue.Ast.ADesc then
+              let inner =
+                Printf.sprintf "%s %s" p.Superglue.Ast.pa_type
+                  p.Superglue.Ast.pa_name
+              in
+              replace_once
+                ~from:(Printf.sprintf "desc(%s)" inner)
+                ~by:inner src
+            else None)
+          f.Ir.f_params)
+    ir.Ir.ir_funcs
+
 (* Multiply the desc_table_cap value by ten by appending a zero (the
    literal ends its line in every builtin spec). *)
 let inflate_cap src =
@@ -407,6 +465,31 @@ let per_iface iface =
       (match smuggle_field ir src with
       | Some s -> [ mk "smuggle-field" 0 s ]
       | None -> []);
+      (* interference surgeries validating the race pass (SG021-SG024):
+         a data-capturing function outside the state machine — every
+         walk rebuilds state its live calls mutate *)
+      (if ir.Ir.ir_model.Superglue.Model.desc_data then
+         match
+           append_decl
+             "int sg_shadow_poke(desc(long __shadow), desc_data(long \
+              __shadow_v));"
+             src
+         with
+         | Some s -> [ mk "shadow-update" 0 s ]
+         | None -> []
+       else []);
+      (* drop an accumulating-cursor capture: the walk can no longer
+         order replayed data-plane writes against live ones — SG022 *)
+      indexed "drop-accum" (starts_with "desc_data_accum(")
+        ~surgery:drop_matching_line;
+      (* a wakeup that captures a payload a mid-walk epoch loses — SG023 *)
+      (match laden_wakeup ir src with
+      | Some s -> [ mk "laden-wakeup" 0 s ]
+      | None -> []);
+      (* an update stripped of its descriptor anchor — SG024 *)
+      (match unanchor_update ir src with
+      | Some s -> [ mk "unanchored-update" 0 s ]
+      | None -> []);
     ]
 
 (* System-level surgeries: the specification text stays pristine and the
@@ -434,6 +517,17 @@ let system_mutants () =
       m_source = src;
       m_wiring =
         [ ("sched", "relay", "relay_wake"); ("relay", "mm", "mman_wake") ];
+    };
+    {
+      (* a third service waking through sched's terminal: with lock and
+         evt already waking through sched, the dependents now collude
+         on a state-holding edge with no ordering between their
+         concurrent walks — race SG025 *)
+      m_id = "system/collusion/0";
+      m_iface = "sched";
+      m_op = "collusion";
+      m_source = src;
+      m_wiring = [ ("timer", "sched", "sched_exit") ];
     };
   ]
 

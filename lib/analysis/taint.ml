@@ -164,7 +164,15 @@ let dependents ~wakeup_deps iface =
 
 let storage_coupled m = m.Model.global || m.Model.resc_data
 
-let classify_param m p =
+(* A service whose blocked waiters are released by the passage of time
+   rather than an explicit wakeup call (the timer shape: blocking
+   functions, no wakeup). Its captured metadata steers *when* waiters
+   wake, so the client observes a corrupted value end-to-end as a
+   rebound cadence — no validator sits in between. *)
+let time_driven_block ir =
+  ir.Ir.ir_blocks <> [] && ir.Ir.ir_wakeups = []
+
+let classify_param ir m p =
   match p.Ast.pa_attr with
   | Ast.ADesc | Ast.AParentDesc | Ast.ADescDataParent ->
       ( Detected,
@@ -179,6 +187,10 @@ let classify_param m p =
         ( Silent,
           "data-plane metadata steers storage reads/writes with no \
            validator between client and resource" )
+      else if time_driven_block ir then
+        ( Silent,
+          "captured metadata steers time-driven blocking; the client \
+           observes the corrupted cadence with no validator" )
       else
         ( Masked,
           "captured metadata only feeds recovery replay, which \
@@ -332,7 +344,7 @@ let entries_of_artifact ~wakeup_deps art =
           (fun p ->
             entry fn p.Ast.pa_name
               (attr_to_string p.Ast.pa_attr)
-              (classify_param m p))
+              (classify_param ir m p))
           f.Ir.f_params
       in
       let ret = [ entry fn "ret" "ret" (classify_ret ir fn m f) ] in

@@ -7,31 +7,50 @@ type action =
   | Dup
   | Reorder
 
+type mode = Once | Every
+type phase = Live | In_walk | Any
+
 type t = {
   av_iface : string;
   av_fn : string;
   av_action : action;
   av_nth : int;
+  av_mode : mode;
+  av_phase : phase;
   mutable av_seen : int;
   mutable av_fired : bool;
+  mutable av_fires : int;
   mutable av_errors : int;
   mutable av_prev : Comp.value list option;
 }
 
-let make ~iface ~fn ~action ~nth =
+let make ?(mode = Once) ?(phase = Live) ~iface ~fn ~action ~nth () =
   {
     av_iface = iface;
     av_fn = fn;
     av_action = action;
     av_nth = max 1 nth;
+    av_mode = mode;
+    av_phase = phase;
     av_seen = 0;
     av_fired = false;
+    av_fires = 0;
     av_errors = 0;
     av_prev = None;
   }
 
 let fired t = t.av_fired
+let fires t = t.av_fires
 let errors t = t.av_errors
+
+let action_label = function
+  | Corrupt_arg i -> Printf.sprintf "corrupt-arg:%d" i
+  | Corrupt_ret -> "corrupt-ret"
+  | Drop _ -> "drop"
+  | Dup -> "dup"
+  | Reorder -> "reorder"
+
+let label t = action_label t.av_action
 
 (* Value corruption is positive-preserving and page-aligned (0x2000000
    is a multiple of the mm page size), so the corrupted value stays
@@ -51,20 +70,42 @@ let record t r =
   | _ -> ());
   r
 
-let invoke t ~iface ~fn ~invoke:go args =
+let eligible t ~in_walk =
+  match t.av_phase with
+  | Any -> true
+  | Live -> not in_walk
+  | In_walk -> in_walk
+
+let invoke t ~iface ~fn ?(in_walk = false) ~invoke:go args =
+  (* Phase-mismatched invocations are never perturbed. For a [Live]
+     adversary they are also fully transparent — it observes the walk
+     path exactly as if it were unhooked, which keeps the pinned
+     single-shot confusion matrix byte-exact. A recovery-racing
+     [In_walk] adversary, by contrast, still *observes* live traffic
+     on its interface: a corrupted walk replay typically surfaces as an
+     EINVAL to the next live client, and missing that signal would
+     misgrade a detected corruption as silent. *)
   if iface <> t.av_iface then go args
+  else if not (eligible t ~in_walk) then
+    match t.av_phase with
+    | In_walk -> record t (go args)
+    | Live | Any -> go args
   else if fn <> t.av_fn then record t (go args)
   else begin
     t.av_seen <- t.av_seen + 1;
+    let due =
+      match t.av_mode with
+      | Once -> (not t.av_fired) && t.av_seen >= t.av_nth
+      | Every -> t.av_seen mod t.av_nth = 0
+    in
     let fire =
-      (not t.av_fired)
-      && t.av_seen >= t.av_nth
-      && match t.av_action with Reorder -> t.av_prev <> None | _ -> true
+      due && match t.av_action with Reorder -> t.av_prev <> None | _ -> true
     in
     let result =
       if not fire then go args
       else begin
         t.av_fired <- true;
+        t.av_fires <- t.av_fires + 1;
         match t.av_action with
         | Corrupt_arg i ->
             go (List.mapi (fun j v -> if j = i then corrupt_value v else v) args)

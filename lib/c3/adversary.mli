@@ -1,18 +1,22 @@
 (** A seed-deterministic interface adversary: a man-in-the-middle on
-    the stub invocation path (DESIGN.md §3.11).
+    the stub invocation path (DESIGN.md §3.11, §3.13).
 
-    The adversary perturbs exactly one invocation of one interface
-    function — the [nth] time the live (non-recovery-walk) path invokes
-    [(iface, fn)] — and from that point on counts every [Error] result
-    crossing its interface as a detection signal. The DST layer uses it
-    to validate the {!Sg_analysis.Taint} verdict table: a {e detected}
-    edge must raise an error signal or nothing, a {e masked} edge must
-    change nothing observable, and a {e silent} edge is one where a
-    perturbation can fail the end-to-end oracle with no signal at the
-    interface.
+    In its default configuration ([Once]/[Live]) the adversary perturbs
+    exactly one invocation of one interface function — the [nth] time
+    the live (non-recovery-walk) path invokes [(iface, fn)] — and from
+    that point on counts every [Error] result crossing its interface as
+    a detection signal. The DST layer uses it to validate the
+    {!Sg_analysis.Taint} verdict table: a {e detected} edge must raise
+    an error signal or nothing, a {e masked} edge must change nothing
+    observable, and a {e silent} edge is one where a perturbation can
+    fail the end-to-end oracle with no signal at the interface.
 
-    Recovery walks are deliberately not hooked: the adversary models a
-    corrupted client/transit value, not a corrupted replay. *)
+    Two orthogonal upgrades serve the {!Sg_analysis.Race} verdict table
+    (DESIGN.md §3.13): {e sustained} adversaries ([Every]) fire on every
+    nth eligible invocation instead of once, and {e recovery-racing}
+    adversaries ([In_walk]/[Any]) are eligible on recovery-walk replay
+    invocations — the walk path in {!Cstub} now traverses this hook,
+    tagging each invocation with [in_walk]. *)
 
 module Comp = Sg_os.Comp
 
@@ -27,20 +31,56 @@ type action =
           first, discarding its reply (errors still count), then
           deliver the real one *)
 
+type mode =
+  | Once  (** fire exactly once, on the nth eligible invocation *)
+  | Every  (** sustained: fire on every nth eligible invocation *)
+
+type phase =
+  | Live  (** only live client invocations are eligible (the default) *)
+  | In_walk  (** only recovery-walk replay invocations are eligible *)
+  | Any  (** every invocation is eligible *)
+
 type t = {
   av_iface : string;
   av_fn : string;
   av_action : action;
-  av_nth : int;  (** fire on the nth matching invocation, 1-based *)
+  av_nth : int;  (** fire on the nth eligible invocation, 1-based *)
+  av_mode : mode;
+  av_phase : phase;
   mutable av_seen : int;
   mutable av_fired : bool;
+  mutable av_fires : int;
   mutable av_errors : int;
   mutable av_prev : Comp.value list option;
 }
 
-val make : iface:string -> fn:string -> action:action -> nth:int -> t
+val make :
+  ?mode:mode ->
+  ?phase:phase ->
+  iface:string ->
+  fn:string ->
+  action:action ->
+  nth:int ->
+  unit ->
+  t
+(** Defaults [mode = Once], [phase = Live]: byte-exact with the
+    single-shot edge adversary of DESIGN.md §3.11. *)
+
 val fired : t -> bool
+(** The adversary has fired at least once. *)
+
+val fires : t -> int
+(** Total firings (at most 1 under [Once]). Stub engines compare this
+    across an invocation to emit {!Sg_obs.Event.Perturb}. *)
+
 val errors : t -> int
+
+val action_label : action -> string
+(** Stable human label: ["corrupt-arg:i"], ["corrupt-ret"], ["drop"],
+    ["dup"], ["reorder"]. *)
+
+val label : t -> string
+(** [action_label] of the configured action. *)
 
 val corrupt_value : Comp.value -> Comp.value
 (** [VInt v] gets identity bits flipped ([lxor 0x2000000]:
@@ -52,11 +92,19 @@ val invoke :
   t ->
   iface:string ->
   fn:string ->
+  ?in_walk:bool ->
   invoke:(Comp.value list -> Comp.value Comp.outcome) ->
   Comp.value list ->
   Comp.value Comp.outcome
-(** The stub hook: route one live invocation through the adversary.
-    [invoke] performs the real server invocation. Fault exceptions from
-    [invoke] propagate unchanged. Reorder waits for a previous
+(** The stub hook: route one invocation through the adversary.
+    [invoke] performs the real server invocation; [in_walk] (default
+    [false]) marks recovery-walk replay invocations. Invocations whose
+    phase does not match the adversary's are never perturbed; for a
+    [Live] adversary they are fully transparent (no counting, no error
+    recording), so it behaves exactly as if the walk path were
+    unhooked, while an [In_walk] adversary still records post-fire
+    [Error] replies on its interface's live traffic — that is where a
+    corrupted walk replay surfaces as a detection. Fault exceptions from
+    [invoke] propagate unchanged. Reorder waits for a previous eligible
     invocation of the target function to exist ([av_prev]), even past
     [nth]. *)

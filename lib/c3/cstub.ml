@@ -42,11 +42,46 @@ let ensure_alive sim cid = if Sim.is_failed sim cid then Sim.microreboot sim cid
 
 let max_retries = 64
 
+(* Route one server invocation through the edge adversary (when armed),
+   tagging it with [in_walk] so racing adversaries (phase In_walk/Any)
+   can target recovery-walk replays while a Live adversary observes
+   them as if unhooked. Every firing emits a Perturb event — also when
+   the perturbed invocation then crashes or diverts. *)
+let invoke_hooked sim t ~in_walk fn args =
+  match t.sb_adversary with
+  | None -> Sim.invoke sim ~server:t.sb_server fn args
+  | Some adv -> (
+      let before = Adversary.fires adv in
+      let emit_fire () =
+        if Adversary.fires adv > before then
+          Sim.emit sim
+            (Sg_obs.Event.Perturb
+               {
+                 iface = t.sb_cfg.cfg_iface;
+                 fn;
+                 action = Adversary.label adv;
+                 in_walk;
+               })
+      in
+      match
+        Adversary.invoke adv ~iface:t.sb_cfg.cfg_iface ~fn ~in_walk
+          ~invoke:(fun a -> Sim.invoke sim ~server:t.sb_server fn a)
+          args
+      with
+      | r ->
+          emit_fire ();
+          r
+      | exception e ->
+          emit_fire ();
+          raise e)
+
 (* Invoke an interface function during a recovery walk. On a fault the
    server is rebooted and the whole walk restarted (the partially replayed
-   state is gone with the reboot, so per-step retry would be wrong). *)
+   state is gone with the reboot, so per-step retry would be wrong).
+   Since the race pass (DESIGN.md §3.13) this path traverses the
+   adversary hook too, tagged [in_walk]. *)
 let walk_invoke sim t fn args =
-  match Sim.invoke sim ~server:t.sb_server fn args with
+  match invoke_hooked sim t ~in_walk:true fn args with
   | Ok v -> v
   | Error e ->
       failwith
@@ -248,15 +283,10 @@ let call t sim fn args =
           | Some _ | None -> args_parented)
     in
     match
-      (* the live invocation path is where the DST edge adversary sits:
-         a man-in-the-middle between stub and server (recovery walks go
-         through walk_invoke and are deliberately not hooked) *)
-      (match t.sb_adversary with
-      | None -> Sim.invoke sim ~server:t.sb_server fn args'
-      | Some adv ->
-          Adversary.invoke adv ~iface:cfg.cfg_iface ~fn
-            ~invoke:(fun a -> Sim.invoke sim ~server:t.sb_server fn a)
-            args')
+      (* the DST edge adversary sits here as a man-in-the-middle
+         between stub and server; walk_invoke routes recovery replays
+         through the same hook with in_walk:true *)
+      invoke_hooked sim t ~in_walk:false fn args'
     with
     | Ok ret ->
         (* cli_if_track: descriptor state tracking on the original

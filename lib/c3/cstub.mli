@@ -83,9 +83,13 @@ val make :
 (** Create the stub and register its recovery upcall
     (["sg_recover:<iface>"]) with the simulator so that server-side stubs
     and cross-component parents (XCParent, U0/G0) can reach it.
-    [adversary] interposes on the live invocation path ({!Adversary}):
-    the same value is shared by every stub of a system so the nth-
-    invocation trigger counts system-wide. *)
+    [adversary] interposes on the invocation path ({!Adversary}): live
+    calls are tagged [in_walk:false] and recovery-walk replays
+    [in_walk:true], so racing adversaries (phase [In_walk]/[Any]) can
+    perturb a walk in flight while the default [Live] phase observes
+    only client calls. The same value is shared by every stub of a
+    system so the nth-invocation trigger counts system-wide. Every
+    adversary firing emits an {!Sg_obs.Event.Perturb}. *)
 
 val port : t -> Sg_os.Port.t
 (** The invocation port workloads call through. *)

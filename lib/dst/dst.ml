@@ -213,7 +213,17 @@ let adversary_scenario ~iface ~fn ~field ~nth seed =
   {
     sc with
     Exec.sc_plan =
-      [ Plan.Perturb { pb_iface = iface; pb_fn = fn; pb_field = field; pb_nth = nth } ];
+      [
+        Plan.Perturb
+          {
+            pb_iface = iface;
+            pb_fn = fn;
+            pb_field = field;
+            pb_nth = nth;
+            pb_every = false;
+            pb_walk = false;
+          };
+      ];
   }
 
 let classify_outcome (o : Exec.outcome) =
@@ -296,6 +306,176 @@ let run_adversary ?(jobs = 1) ?(on_row = fun (_ : adversary_row) -> ())
     (* the first row runs in the calling domain before any worker
        spawns: it warms the process-wide compile and bounds caches,
        read-only afterwards (same discipline as [run_seeds]) *)
+    consume (row 0);
+    if jobs <= 1 then
+      for i = 1 to n - 1 do
+        consume (row i)
+      done
+    else
+      Sg_util.Pool.run ~jobs ~count:(n - 1)
+        ~task:(fun ~cancelled:_ i -> row (i + 1))
+        ~consume:(fun _ r ->
+          consume r;
+          Sg_util.Pool.Continue)
+        ()
+  end;
+  (List.rev !rows, !mismatches)
+
+(* ---------- the recovery-interference (race) campaign ---------- *)
+
+module Race = Sg_analysis.Race
+
+type race_row = {
+  ra_entry : Race.entry;
+  ra_unfired : int;
+  ra_masked : int;
+  ra_detected : int;
+  ra_silent : int;
+  ra_witness : Exec.scenario option;
+  ra_ok : bool;
+}
+
+(* A race scenario arms the *sustained, recovery-racing* adversary: the
+   perturbation fires on every eligible invocation of (iface, fn), but
+   only walk-replay invocations are eligible — exactly the interleaving
+   the verdict speaks about. The plan pairs it with a fail-stop of the
+   walker, so the walk whose interval the pair intersects actually
+   runs; the workload focuses on the edge's interface so the tracker
+   holds descriptors for the walk to replay. *)
+let race_scenario ~walker ~iface ~fn ~field ~crash_nth seed =
+  let sc = scenario_of_seed ~profile:(focus_profile iface) seed in
+  {
+    sc with
+    Exec.sc_plan =
+      [
+        Plan.Crash { cr_service = walker; cr_nth = crash_nth };
+        Plan.Perturb
+          {
+            pb_iface = iface;
+            pb_fn = fn;
+            pb_field = field;
+            pb_nth = 1;
+            pb_every = true;
+            pb_walk = true;
+          };
+      ];
+  }
+
+(* The datum a row perturbs. A racy row corrupts its named free datum —
+   the walk replays it verbatim, so the corruption must land as a
+   silent rebind (the witness). An isolated/serialized row corrupts the
+   *ordered* operands instead (anchors, keys, echoed data: the
+   complement of [Race.free_data]), cycling through them — the claim
+   under test is that every such perturbation is absorbed by the
+   happens-before edge (rejected, re-derived, or never eligible), never
+   silent. *)
+let race_fields entry arts =
+  if entry.Race.r_verdict = Race.Racy then [ entry.Race.r_field ]
+  else
+    match
+      List.find_opt
+        (fun a -> a.Compiler.a_ir.Superglue.Ir.ir_name = entry.Race.r_iface)
+        arts
+    with
+    | None -> [ "ret" ]
+    | Some a -> (
+        let ir = a.Compiler.a_ir in
+        let free = Race.free_data ir entry.Race.r_fn in
+        match Superglue.Ir.func ir entry.Race.r_fn with
+        | None -> [ "ret" ]
+        | Some f -> (
+            match
+              List.filter_map
+                (fun p ->
+                  if List.mem p.Superglue.Ast.pa_name free then None
+                  else Some p.Superglue.Ast.pa_name)
+                f.Superglue.Ir.f_params
+            with
+            | [] -> [ "ret" ]
+            | safe -> safe))
+
+(* One verdict-table pair, graded like an adversary row: a racy claim
+   hunts a silent in-walk witness over up to [8 * per_entry] scenarios
+   (stopping at the first), an isolated/serialized claim is graded on
+   exactly [per_entry] scenarios and must produce zero silent
+   outcomes. The crash anchor and the perturbed field cycle with the
+   scenario index so the walk lands at different points of the op
+   sequence.
+
+   A racy claim is discharged two ways. When the workload reads the
+   datum back (a file name or seek cursor, a timer deadline) the
+   corruption surfaces end-to-end: a silent observation, shrunk to a
+   replayable witness artifact. When no read-back path exists (a
+   thread priority, an event component id) the claim's falsifiable
+   half is still graded: the corrupted replay must be *accepted* —
+   fired on live walks with zero [Error] replies anywhere on the edge
+   over the whole hunt budget. A detection would prove the server
+   validates the datum, refuting the racy verdict. *)
+let race_row ~seed ~per_entry ~fields entry =
+  let walker = entry.Race.r_walker
+  and iface = entry.Race.r_iface
+  and fn = entry.Race.r_fn in
+  let unf = ref 0 and mas = ref 0 and det = ref 0 and sil = ref 0 in
+  let witness = ref None in
+  let claims_racy = entry.Race.r_verdict = Race.Racy in
+  let budget = if claims_racy then per_entry * 8 else per_entry in
+  let nfields = List.length fields in
+  let rec go k =
+    if k < budget then begin
+      let sc =
+        race_scenario ~walker ~iface ~fn
+          ~field:(List.nth fields (k mod nfields))
+          ~crash_nth:(1 + (k mod 3))
+          (seed + k)
+      in
+      (match classify_outcome (Exec.run sc) with
+      | Ob_unfired -> incr unf
+      | Ob_masked -> incr mas
+      | Ob_detected -> incr det
+      | Ob_silent ->
+          incr sil;
+          if !witness = None then witness := Some sc);
+      if not (claims_racy && !witness <> None) then go (k + 1)
+    end
+  in
+  go 0;
+  {
+    ra_entry = entry;
+    ra_unfired = !unf;
+    ra_masked = !mas;
+    ra_detected = !det;
+    ra_silent = !sil;
+    ra_witness = (if claims_racy then !witness else None);
+    ra_ok =
+      (if claims_racy then !sil >= 1 || (!mas >= 1 && !det = 0)
+       else !sil = 0);
+  }
+
+(* The race gate (ISSUE: every racy verdict needs a dynamic witness,
+   every isolated/serialized verdict must survive the sustained
+   recovery-racing campaign). Rows are delivered in verdict-table order
+   and are identical at every [jobs] — same pool discipline as
+   [run_adversary]. *)
+let run_race ?(jobs = 1) ?(on_row = fun (_ : race_row) -> ()) ~seed
+    ~per_entry () =
+  let arts = List.map Compiler.builtin Compiler.builtin_names in
+  let report = Race.analyze arts in
+  let entries = Array.of_list report.Race.r_entries in
+  let n = Array.length entries in
+  let rows = ref [] and mismatches = ref 0 in
+  let consume r =
+    rows := r :: !rows;
+    if not r.ra_ok then incr mismatches;
+    on_row r
+  in
+  let row i =
+    let e = entries.(i) in
+    race_row
+      ~seed:(seed + (i * per_entry * 8))
+      ~per_entry ~fields:(race_fields e arts) e
+  in
+  if n > 0 then begin
+    (* first row in the calling domain: warms the compile caches *)
     consume (row 0);
     if jobs <= 1 then
       for i = 1 to n - 1 do

@@ -129,3 +129,60 @@ val run_adversary :
     order plus the mismatch count. [on_row] is called in the calling
     domain, in table order; rows and mismatch count are identical at
     every [jobs]. *)
+
+(** {2 The recovery-interference (race) campaign}
+
+    Dynamic validation of the {!Sg_analysis.Race} verdict table: every
+    (recovery walk, concurrent invocation) pair is replayed against a
+    live system carrying a fail-stop of the walker plus a *sustained,
+    recovery-racing* {!Plan.Perturb} ([pb_every] and [pb_walk] set) on
+    the pair's edge — the perturbation fires on every walk-replay
+    invocation of the edge, the interleaving the verdict speaks
+    about. *)
+
+type race_row = {
+  ra_entry : Sg_analysis.Race.entry;
+  ra_unfired : int;
+  ra_masked : int;
+  ra_detected : int;
+  ra_silent : int;  (** observation counts over the pair's budget *)
+  ra_witness : Exec.scenario option;
+      (** first silent-observation scenario, for a Racy claim *)
+  ra_ok : bool;
+      (** Racy claim: a silent in-walk witness was found, or — for a
+          datum the workload never reads back — the corrupted replay
+          was accepted (it fired with zero [Error] replies on the
+          edge over the whole budget; a detection would refute the
+          verdict). Isolated/Serialized claim: zero silent
+          observations. *)
+}
+
+val race_scenario :
+  walker:string ->
+  iface:string ->
+  fn:string ->
+  field:string ->
+  crash_nth:int ->
+  int ->
+  Exec.scenario
+(** The scenario grading one pair at one seed: the seed's focus-profile
+    workload on [iface] with its plan replaced by
+    [Crash walker @ crash_nth] followed by the sustained in-walk
+    {!Plan.Perturb} on [(iface, fn, field)]. *)
+
+val run_race :
+  ?jobs:int ->
+  ?on_row:(race_row -> unit) ->
+  seed:int ->
+  per_entry:int ->
+  unit ->
+  race_row list * int
+(** Grade the whole pristine race table: pair [i] scans scenarios
+    [seed + i*per_entry*8 + k] with the walker's crash anchored at
+    dispatch [(k mod 3) + 1]. A Racy claim corrupts its named free
+    datum and hunts a witness over up to [8 * per_entry] scenarios
+    (stopping at the first); an Isolated/Serialized claim corrupts the
+    ordered operands (the complement of {!Sg_analysis.Race.free_data},
+    cycling) on exactly [per_entry] scenarios and must stay
+    silent-free. Returns the rows in table order plus the mismatch
+    count; rows and mismatch count are identical at every [jobs]. *)

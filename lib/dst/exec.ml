@@ -290,13 +290,14 @@ let adversary_of_plan plan =
   match
     List.find_map
       (function
-        | Plan.Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
-            Some (pb_iface, pb_fn, pb_field, pb_nth)
+        | Plan.Perturb { pb_iface; pb_fn; pb_field; pb_nth; pb_every; pb_walk }
+          ->
+            Some (pb_iface, pb_fn, pb_field, pb_nth, pb_every, pb_walk)
         | _ -> None)
       plan
   with
   | None -> None
-  | Some (pb_iface, pb_fn, pb_field, pb_nth) ->
+  | Some (pb_iface, pb_fn, pb_field, pb_nth, pb_every, pb_walk) ->
       if not (List.mem pb_iface Compiler.builtin_names) then None
       else
         let ir = (Compiler.builtin pb_iface).Compiler.a_ir in
@@ -319,7 +320,14 @@ let adversary_of_plan plan =
             in
             Option.map
               (fun action ->
-                Adversary.make ~iface:pb_iface ~fn:pb_fn ~action ~nth:pb_nth)
+                let mode =
+                  if pb_every then Adversary.Every else Adversary.Once
+                in
+                let phase =
+                  if pb_walk then Adversary.In_walk else Adversary.Live
+                in
+                Adversary.make ~mode ~phase ~iface:pb_iface ~fn:pb_fn ~action
+                  ~nth:pb_nth ())
               action)
 
 let storage_nths plan =
@@ -523,12 +531,24 @@ let exec_evt ctx sim ~triggers =
   done;
   Event.free p1 sim ~compid:app1 parent
 
+(* Recovery delays are µs-scale (bounded by the Wcr walk bound), so a
+   generous fixed slack cleanly separates organic crash/recovery
+   stalls from a rebound timer period: the adversary's corruption
+   offset is 0x2000000 ns ≈ 33.5 ms per wait, two orders of magnitude
+   past the slack. *)
+let timer_deadline_slack_ns = 16_000_000
+
 let exec_timer ctx sim ~periods ~period_ns =
   let p = port ctx "timer" in
   let id = Timer.create p sim ~period_ns in
+  let start_ns = Sim.now sim in
   for _ = 1 to periods do
     ignore (Timer.wait p sim id)
   done;
+  let elapsed = Sim.now sim - start_ns in
+  if elapsed > (periods * period_ns) + timer_deadline_slack_ns then
+    err ctx "timer: %d period(s) of %dns elapsed %dns — period rebound"
+      periods period_ns elapsed;
   Timer.free p sim id
 
 let exec_burst ctx sim ~count =

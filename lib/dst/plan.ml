@@ -26,6 +26,8 @@ type fault =
       pb_fn : string;
       pb_field : string;  (* a param name, "ret", "@drop", "@dup", "@reorder" *)
       pb_nth : int;  (* fires at the first matching invocation >= nth *)
+      pb_every : bool;  (* sustained: fire on every nth invocation *)
+      pb_walk : bool;  (* racing: target recovery-walk replays instead *)
     }
 
 type config = {
@@ -133,8 +135,13 @@ let fault_label = function
       Printf.sprintf "crash(%s@%d)" cr_service cr_nth
   | Double { db_service; db_nth; db_gap } ->
       Printf.sprintf "double(%s@%d+%d)" db_service db_nth db_gap
-  | Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
-      Printf.sprintf "perturb(%s.%s %s@%d)" pb_iface pb_fn pb_field pb_nth
+  | Perturb { pb_iface; pb_fn; pb_field; pb_nth; pb_every; pb_walk } ->
+      let tags =
+        (if pb_every then [ "every" ] else [])
+        @ if pb_walk then [ "walk" ] else []
+      in
+      Printf.sprintf "perturb(%s.%s %s@%d%s)" pb_iface pb_fn pb_field pb_nth
+        (match tags with [] -> "" | ts -> " " ^ String.concat "," ts)
 
 (* ---------- JSON ---------- *)
 
@@ -160,14 +167,18 @@ let fault_to_json f =
           ("nth", Json.Int db_nth);
           ("gap", Json.Int db_gap);
         ]
-  | Perturb { pb_iface; pb_fn; pb_field; pb_nth } ->
+  | Perturb { pb_iface; pb_fn; pb_field; pb_nth; pb_every; pb_walk } ->
+      (* the sustained/racing flags are emitted only when set, so every
+         pre-existing single-shot artifact stays byte-identical *)
       o "perturb"
-        [
-          ("service", Json.Str pb_iface);
-          ("fn", Json.Str pb_fn);
-          ("field", Json.Str pb_field);
-          ("nth", Json.Int pb_nth);
-        ]
+        ([
+           ("service", Json.Str pb_iface);
+           ("fn", Json.Str pb_fn);
+           ("field", Json.Str pb_field);
+           ("nth", Json.Int pb_nth);
+         ]
+        @ (if pb_every then [ ("every", Json.Bool true) ] else [])
+        @ if pb_walk then [ ("walk", Json.Bool true) ] else [])
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Json.Parse_error m)) fmt
 
@@ -207,12 +218,20 @@ let fault_of_json j =
               db_gap = get_int j "gap";
             }
       | "perturb" ->
+          (* absent flags parse as false: old artifacts stay loadable *)
+          let get_flag field =
+            match Json.member field j with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
           Perturb
             {
               pb_iface = get_str j "service";
               pb_fn = get_str j "fn";
               pb_field = get_str j "field";
               pb_nth = get_int j "nth";
+              pb_every = get_flag "every";
+              pb_walk = get_flag "walk";
             }
       | other -> fail "unknown fault %s" other)
   | _ -> fail "fault object lacks a \"fault\" field"

@@ -39,12 +39,20 @@ type fault =
       pb_nth : int;
           (** fires at the first invocation of [(pb_iface, pb_fn)] whose
               1-based system-wide counter is [>= pb_nth] *)
+      pb_every : bool;
+          (** sustained adversary: fire on {e every} nth eligible
+              invocation ({!Sg_c3.Adversary.Every}) instead of once *)
+      pb_walk : bool;
+          (** recovery-racing adversary: only recovery-walk replay
+              invocations are eligible ({!Sg_c3.Adversary.In_walk}) —
+              the perturbation lands while a walk is in flight *)
     }
-      (** the interface-edge adversary ({!Sg_c3.Adversary}): perturb one
-          live invocation of one interface function. Never drawn by
-          {!generate} — adversary campaigns ([superglue-dst adversary])
-          construct it explicitly to validate the {!Sg_analysis.Taint}
-          verdict table. At most one [Perturb] per plan takes effect. *)
+      (** the interface-edge adversary ({!Sg_c3.Adversary}): perturb
+          invocations of one interface function. Never drawn by
+          {!generate} — adversary campaigns ([superglue-dst adversary],
+          [superglue-dst race]) construct it explicitly to validate the
+          {!Sg_analysis.Taint} and {!Sg_analysis.Race} verdict tables.
+          At most one [Perturb] per plan takes effect. *)
 
 type config = {
   pc_flip : int;

@@ -240,7 +240,7 @@ let step st (e : Event.t) =
       Hashtbl.reset st.recover_depth;
       Hashtbl.reset st.expects
   | Event.Upcall _ | Event.Reflect _ | Event.Storage_op _ | Event.Http _
-  | Event.Http_req _ | Event.Note _ ->
+  | Event.Http_req _ | Event.Perturb _ | Event.Note _ ->
       ()
 
 let check_mode st ~mode (e : Event.t) =

@@ -355,7 +355,9 @@ let feed b (e : Event.t) =
          no in-flight recovery can complete across it *)
       close_all b;
       Hashtbl.reset b.b_inject
-  | Event.Storage_op _ | Event.Http _ | Event.Http_req _ | Event.Note _ -> ()
+  | Event.Storage_op _ | Event.Http _ | Event.Http_req _ | Event.Perturb _
+  | Event.Note _ ->
+      ()
 
 let finish b =
   close_all b;

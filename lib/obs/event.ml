@@ -49,6 +49,7 @@ type kind =
       status : int;
       outcome : string;
     }
+  | Perturb of { iface : string; fn : string; action : string; in_walk : bool }
   | Note of { name : string; data : string }
 
 type t = { seq : int; at_ns : int; tid : int; kind : kind }
@@ -69,6 +70,7 @@ let kind_name = function
   | Inject _ -> "inject"
   | Http _ -> "http"
   | Http_req _ -> "http_req"
+  | Perturb _ -> "perturb"
   | Note _ -> "note"
 
 (* the bounded recovery ring (and the legacy [Sim.trace] view on it)
@@ -82,7 +84,7 @@ let is_recovery_core = function
    event flood (spans, storage ops, http) of a long benchmark run *)
 let is_recovery_relevant = function
   | Crash _ | Reboot _ | Divert _ | Upcall _ | Walk_begin _ | Walk_end _
-  | Recover_begin _ | Recover_end _ | Inject _ ->
+  | Recover_begin _ | Recover_end _ | Inject _ | Perturb _ ->
       true
   | Span_begin _ | Span_end _ | Reflect _ | Storage_op _ | Http _ | Http_req _
   | Note _ ->
@@ -128,6 +130,9 @@ let pp ppf e =
           "http_req component %d client %d arrive=%d start=%d finish=%d -> %d \
            (%s)"
           cid client arrival_ns start_ns finish_ns status outcome
+    | Perturb { iface; fn; action; in_walk } ->
+        Printf.sprintf "perturb %s.%s %s%s" iface fn action
+          (if in_walk then " (in walk)" else "")
     | Note { name; data } -> Printf.sprintf "note %s: %s" name data
   in
   Format.fprintf ppf "[%8d ns] #%d tid=%d %s" e.at_ns e.seq e.tid k

@@ -57,6 +57,12 @@ type kind =
       (** one open-loop request span, emitted at finish time; the
           latency attributed to the request is [finish_ns - arrival_ns]
           (sojourn: queueing + service) *)
+  | Perturb of { iface : string; fn : string; action : string; in_walk : bool }
+      (** an interface adversary fired on an invocation of [iface.fn];
+          [in_walk = true] when the perturbed invocation was a
+          recovery-walk replay rather than a live client call. Distinct
+          from [Inject] so [Episode] crash-trigger attribution stays
+          exact. *)
   | Note of { name : string; data : string }  (** free-form annotation *)
 
 type t = { seq : int; at_ns : int; tid : int; kind : kind }

@@ -68,6 +68,13 @@ let fields_of_kind = function
         ("status", I status);
         ("outcome", S outcome);
       ]
+  | Event.Perturb { iface; fn; action; in_walk } ->
+      [
+        ("iface", S iface);
+        ("fn", S fn);
+        ("action", S action);
+        ("in_walk", B in_walk);
+      ]
   | Event.Note { name; data } -> [ ("name", S name); ("data", S data) ]
 
 let to_string (e : Event.t) =
@@ -299,6 +306,14 @@ let of_string line =
             finish_ns = int_f f "finish_ns";
             status = int_f f "status";
             outcome = str_f f "outcome";
+          }
+    | "perturb" ->
+        Event.Perturb
+          {
+            iface = str_f f "iface";
+            fn = str_f f "fn";
+            action = str_f f "action";
+            in_walk = bool_f f "in_walk";
           }
     | "note" -> Event.Note { name = str_f f "name"; data = str_f f "data" }
     | k -> fail "unknown event kind %s" k

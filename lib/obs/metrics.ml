@@ -20,6 +20,8 @@ type t = {
   walks_by_server : (int, int) Hashtbl.t;
   mutable storage_ops_total : int;
   mutable injections_total : int;
+  mutable perturbs_total : int;
+  mutable perturbs_in_walk : int;
   outcomes : (string, int) Hashtbl.t;
   mutable http_requests : int;
   mutable http_errors : int;
@@ -58,6 +60,8 @@ let create () =
     walks_by_server = Hashtbl.create 16;
     storage_ops_total = 0;
     injections_total = 0;
+    perturbs_total = 0;
+    perturbs_in_walk = 0;
     outcomes = Hashtbl.create 8;
     http_requests = 0;
     http_errors = 0;
@@ -144,6 +148,9 @@ let feed_raw t ~at_ns ~tid kind =
   | Event.Inject { outcome; _ } ->
       t.injections_total <- t.injections_total + 1;
       bump t.outcomes outcome 1
+  | Event.Perturb { in_walk; _ } ->
+      t.perturbs_total <- t.perturbs_total + 1;
+      if in_walk then t.perturbs_in_walk <- t.perturbs_in_walk + 1
   | Event.Http { status; _ } ->
       t.http_requests <- t.http_requests + 1;
       if status >= 400 then t.http_errors <- t.http_errors + 1
@@ -184,6 +191,8 @@ let diverts t = t.diverts_total
 let reflects t = t.reflects_total
 let storage_ops t = t.storage_ops_total
 let injections t = t.injections_total
+let perturbs t = t.perturbs_total
+let perturbs_in_walk t = t.perturbs_in_walk
 let outcome_count t s = get t.outcomes s
 let reboot_ns_total t = t.reboot_ns_total
 let http_requests t = t.http_requests
@@ -206,6 +215,9 @@ let pp_summary ppf t =
   Format.fprintf ppf "descriptor walks   %d@." t.walks_total;
   Format.fprintf ppf "storage ops        %d@." t.storage_ops_total;
   Format.fprintf ppf "injections         %d@." t.injections_total;
+  if t.perturbs_total > 0 then
+    Format.fprintf ppf "perturbations      %d (%d during walks)@."
+      t.perturbs_total t.perturbs_in_walk;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.outcomes []
   |> List.sort compare
   |> List.iter (fun (k, v) -> Format.fprintf ppf "  outcome %-12s %d@." k v);

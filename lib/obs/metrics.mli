@@ -34,6 +34,14 @@ val diverts : t -> int
 val reflects : t -> int
 val storage_ops : t -> int
 val injections : t -> int
+
+val perturbs : t -> int
+(** Adversary perturbations fired ({!Event.Perturb}), counted apart from
+    SWIFI injections so episode attribution stays exact. *)
+
+val perturbs_in_walk : t -> int
+(** The subset of {!perturbs} that fired on a recovery-walk replay. *)
+
 val outcome_count : t -> string -> int
 val reboot_ns_total : t -> int
 val http_requests : t -> int

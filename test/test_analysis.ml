@@ -16,6 +16,7 @@ module Sysgraph = Sg_analysis.Sysgraph
 module Wcr = Sg_analysis.Wcr
 module Mutate = Sg_analysis.Mutate
 module Taint = Sg_analysis.Taint
+module Race = Sg_analysis.Race
 module Json = Sg_analysis.Json
 module Cost = Sg_kernel.Cost
 
@@ -139,11 +140,14 @@ let test_system_skips_absent () =
    findings of that rule's code than the pristine baseline does. A
    mutant the compiler itself rejects counts as a compile-stage
    detection (SG900-SG902). *)
-(* lint plus the taint pass: SG016-SG019 come from Taint.analyze, so a
-   taint surgery registers as a kill the same way a lint surgery does *)
+(* lint plus the taint and race passes: SG016-SG019 come from
+   Taint.analyze and SG021-SG025 from Race.analyze, so a taint or
+   interference surgery registers as a kill the same way a lint
+   surgery does *)
 let lint_and_taint ?wakeup_deps arts =
   Analysis.lint ?wakeup_deps arts
   @ (Taint.analyze ?wakeup_deps arts).Taint.t_diags
+  @ (Race.analyze ?wakeup_deps arts).Race.r_diags
 
 let run_campaign () =
   let baseline = lint_and_taint (pristine ()) in
@@ -197,7 +201,8 @@ let test_every_rule_killed () =
     [
       "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
       "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
-      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020";
+      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020"; "SG021";
+      "SG022"; "SG023"; "SG024"; "SG025";
       "compile-error";
     ]
   in
@@ -219,7 +224,9 @@ let test_mutants_never_crash () =
           let ds = Analysis.analyze a in
           ignore (List.map Diag.to_string ds);
           let r = Taint.analyze [ a ] in
-          ignore (Taint.render r))
+          ignore (Taint.render r);
+          let rr = Race.analyze ~wakeup_deps:m.Mutate.m_wiring [ a ] in
+          ignore (Race.render rr))
     (Mutate.builtin_mutants ())
 
 (* ---------- the JSON report ---------- *)
@@ -454,9 +461,9 @@ let test_taint_total_coverage () =
       (List.filter (fun e -> e.Taint.e_verdict = v) r.Taint.t_entries)
   in
   Alcotest.(check int) "entries" 118 expected;
-  Alcotest.(check int) "masked" 52 (count Taint.Masked);
+  Alcotest.(check int) "masked" 51 (count Taint.Masked);
   Alcotest.(check int) "detected" 49 (count Taint.Detected);
-  Alcotest.(check int) "silent" 17 (count Taint.Silent);
+  Alcotest.(check int) "silent" 18 (count Taint.Silent);
   Alcotest.(check (list string)) "pristine is finding-free" []
     (List.map Diag.to_string r.Taint.t_diags)
 
@@ -543,6 +550,96 @@ let prop_taint_total_deterministic =
           e.Taint.e_reason <> "")
         r1.Taint.t_entries)
 
+(* ---------- the race verdict table ---------- *)
+
+(* The pinned pristine interference census: every (recovery walk,
+   concurrent invocation) pair of the six builtins is classified, and a
+   classifier change that shifts any verdict must re-validate against
+   the sustained recovery-racing DST campaign. *)
+let test_race_census () =
+  let arts = pristine () in
+  let r = Race.analyze arts in
+  let count v =
+    List.length
+      (List.filter (fun e -> e.Race.r_verdict = v) r.Race.r_entries)
+  in
+  Alcotest.(check int) "pairs" 138 (List.length r.Race.r_entries);
+  Alcotest.(check int) "isolated" 113 (count Race.Isolated);
+  Alcotest.(check int) "serialized" 20 (count Race.Serialized);
+  Alcotest.(check int) "racy" 5 (count Race.Racy);
+  Alcotest.(check int) "one walk interval per service" 6
+    (List.length r.Race.r_walks);
+  let racy =
+    List.filter_map
+      (fun e ->
+        if e.Race.r_verdict = Race.Racy then
+          Some (e.Race.r_walker, e.Race.r_fn, e.Race.r_field)
+        else None)
+      r.Race.r_entries
+  in
+  Alcotest.(check (list (triple string string string)))
+    "the racy pairs (each needs a dynamic witness)"
+    [
+      ("evt", "evt_split", "compid");
+      ("fs", "tlseek", "off");
+      ("fs", "tsplit", "name");
+      ("sched", "sched_create", "prio");
+      ("timer", "timer_create", "period_ns");
+    ]
+    (List.sort compare racy);
+  Alcotest.(check (list string)) "pristine is finding-free" []
+    (List.map Diag.to_string r.Race.r_diags);
+  List.iter
+    (fun v ->
+      match Race.verdict_of_string (Race.verdict_to_string v) with
+      | Some v' when v' = v -> ()
+      | _ -> Alcotest.fail "verdict does not round-trip")
+    [ Race.Isolated; Race.Serialized; Race.Racy ]
+
+let test_race_json_schema () =
+  let r = Race.analyze (pristine ()) in
+  let j = Json.parse (Json.to_string (Race.report_to_json r)) in
+  let int_field name expect =
+    match Json.member name j with
+    | Some (Json.Int n) when n = expect -> ()
+    | v ->
+        Alcotest.failf "field %s: expected %d, got %s" name expect
+          (match v with Some j -> Json.to_string j | None -> "absent")
+  in
+  (match Json.member "schema" j with
+  | Some (Json.Str "sgc-race") -> ()
+  | _ -> Alcotest.fail "schema field wrong");
+  int_field "version" 1;
+  int_field "pairs" (List.length r.Race.r_entries);
+  int_field "isolated" 113;
+  int_field "serialized" 20;
+  int_field "racy" 5;
+  int_field "errors" 0;
+  (match Json.member "walks" j with
+  | Some (Json.List ws) ->
+      Alcotest.(check int) "walks array" 6 (List.length ws)
+  | _ -> Alcotest.fail "walks array lost");
+  match Json.member "entries" j with
+  | Some (Json.List es) ->
+      Alcotest.(check int) "entries array" (List.length r.Race.r_entries)
+        (List.length es);
+      List.iter2
+        (fun ej e ->
+          List.iter
+            (fun (name, v) ->
+              match Json.member name ej with
+              | Some (Json.Str s) when s = v -> ()
+              | _ -> Alcotest.failf "entry field %s lost" name)
+            [
+              ("walker", e.Race.r_walker);
+              ("iface", e.Race.r_iface);
+              ("fn", e.Race.r_fn);
+              ("phase", e.Race.r_phase);
+              ("verdict", Race.verdict_to_string e.Race.r_verdict);
+            ])
+        es r.Race.r_entries
+  | _ -> Alcotest.fail "entries array lost"
+
 (* ---------- the rule table ---------- *)
 
 let test_rule_table () =
@@ -569,8 +666,8 @@ let test_rules_documented () =
     [
       "SG001"; "SG002"; "SG003"; "SG004"; "SG005"; "SG006"; "SG007";
       "SG008"; "SG009"; "SG010"; "SG011"; "SG012"; "SG013"; "SG014";
-      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020"; "SG900";
-      "SG901"; "SG902";
+      "SG015"; "SG016"; "SG017"; "SG018"; "SG019"; "SG020"; "SG021";
+      "SG022"; "SG023"; "SG024"; "SG025"; "SG900"; "SG901"; "SG902";
     ]
   in
   Alcotest.(check (list string))
@@ -590,7 +687,7 @@ let test_rules_documented () =
     (fun code ->
       if not (contains readme code) then
         Alcotest.failf "%s not mentioned in README.md" code)
-    [ "SG001"; "SG013"; "SG014"; "SG015"; "SG020"; "SG900" ]
+    [ "SG001"; "SG013"; "SG014"; "SG015"; "SG020"; "SG021"; "SG025"; "SG900" ]
 
 (* ---------- the fixture corpus ---------- *)
 
@@ -682,6 +779,7 @@ let test_fixtures () =
           let ds =
             Analysis.lint ?wakeup_deps ?boot_order [ a ]
             @ (Taint.analyze ?wakeup_deps ?boot_order [ a ]).Taint.t_diags
+            @ (Race.analyze ?wakeup_deps ?boot_order [ a ]).Race.r_diags
           in
           match expect with
           | "clean" ->
@@ -744,6 +842,11 @@ let () =
             test_taint_total_coverage;
           Alcotest.test_case "JSON schema" `Quick test_taint_json_schema;
           QCheck_alcotest.to_alcotest prop_taint_total_deterministic;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "pinned verdict census" `Quick test_race_census;
+          Alcotest.test_case "JSON schema" `Quick test_race_json_schema;
         ] );
       ( "rules",
         [

@@ -12,6 +12,7 @@ module Rng = Sg_util.Rng
 module Episode = Sg_obs.Episode
 module Profile = Sg_obs.Profile
 module Json = Sg_analysis.Json
+module Taint = Sg_analysis.Taint
 
 let scenario_label (sc : Exec.scenario) =
   Artifact.to_string
@@ -121,7 +122,23 @@ let test_plan_json_roundtrip () =
   (* Perturb is never drawn by generate, so round-trip it explicitly *)
   let plan =
     Plan.Perturb
-      { pb_iface = "fs"; pb_fn = "twrite"; pb_field = "@drop"; pb_nth = 2 }
+      {
+        pb_iface = "fs";
+        pb_fn = "twrite";
+        pb_field = "@drop";
+        pb_nth = 2;
+        pb_every = false;
+        pb_walk = false;
+      }
+    :: Plan.Perturb
+         {
+           pb_iface = "fs";
+           pb_fn = "twrite";
+           pb_field = "ret";
+           pb_nth = 3;
+           pb_every = true;
+           pb_walk = true;
+         }
     :: plan
   in
   List.iter
@@ -192,6 +209,134 @@ let test_adversary_unfired () =
     (Dst.obs_label (Dst.classify_outcome o));
   Alcotest.(check string) "run unaffected" "pass"
     (Exec.verdict_class o.Exec.oc_verdict)
+
+(* ------------------------------------------------------------------ *)
+(* The sustained, recovery-racing adversary                            *)
+
+(* A walk-time perturbation must be observable: the recovery walk's
+   replay path routes through the same client hook as live traffic, so
+   an [In_walk] adversary armed on a replayed edge fires during the
+   walk and its corruption reaches the end-to-end oracle. Pinned to the
+   fs.tsplit[name] witness seed of the check.sh race campaign; the
+   campaign anchors the walker's crash at dispatch (k mod 3) + 1, so
+   scan all three anchors and require the silent witness among them. *)
+let test_walk_perturbation_observable () =
+  let witnessed = ref false in
+  for crash_nth = 1 to 3 do
+    let sc =
+      Dst.race_scenario ~walker:"fs" ~iface:"fs" ~fn:"tsplit" ~field:"name"
+        ~crash_nth 3691
+    in
+    let o = Exec.run sc in
+    match (o.Exec.oc_adversary, Dst.classify_outcome o) with
+    | Some { Exec.ao_fired = true; _ }, Dst.Ob_silent -> witnessed := true
+    | _ -> ()
+  done;
+  if not !witnessed then
+    Alcotest.fail "walk-time replay corruption never surfaced silently"
+
+(* Phase discipline: the same sustained in-walk perturbation with the
+   walker's crash removed from the plan has no recovery walk to race —
+   it must never fire and the run must pass untouched. *)
+let test_walk_adversary_needs_walk () =
+  let sc =
+    Dst.race_scenario ~walker:"fs" ~iface:"fs" ~fn:"tsplit" ~field:"name"
+      ~crash_nth:1 3691
+  in
+  let sc =
+    {
+      sc with
+      Exec.sc_plan =
+        List.filter
+          (function Plan.Crash _ -> false | _ -> true)
+          sc.Exec.sc_plan;
+    }
+  in
+  let o = Exec.run sc in
+  Alcotest.(check string) "no walk, no fire" "unfired"
+    (Dst.obs_label (Dst.classify_outcome o));
+  Alcotest.(check string) "run unaffected" "pass"
+    (Exec.verdict_class o.Exec.oc_verdict)
+
+(* The sustained confusion matrix: for one busy edge per service, arm
+   the *sustained* live adversary (every 2nd invocation, not one-shot)
+   over every field the taint table enumerates for that edge — operand
+   corruption plus the @drop/@dup/@reorder delivery actions — at pinned
+   seeds. Zero unexplained failures: a silent observation is legitimate
+   only on a field the table itself claims Silent; any silent outcome
+   on a Masked/Detected field is a hole in the verdict table. *)
+let test_sustained_confusion_matrix () =
+  let report =
+    Taint.analyze
+      (List.map Superglue.Compiler.builtin Superglue.Compiler.builtin_names)
+  in
+  let edges =
+    [
+      ("sched", "sched_create");
+      ("mm", "mman_get_page");
+      ("fs", "twrite");
+      ("lock", "lock_free");
+      ("evt", "evt_trigger");
+      ("timer", "timer_create");
+    ]
+  in
+  let fired = ref 0 in
+  List.iteri
+    (fun i (iface, fn) ->
+      let entries =
+        List.filter
+          (fun e -> e.Taint.e_iface = iface && e.Taint.e_fn = fn)
+          report.Taint.t_entries
+      in
+      if entries = [] then Alcotest.failf "no taint entries for %s.%s" iface fn;
+      List.iteri
+        (fun j e ->
+          let seed = 9000 + (i * 97) + (j * 7) in
+          let sc =
+            Dst.adversary_scenario ~iface ~fn ~field:e.Taint.e_field ~nth:2 seed
+          in
+          let sc =
+            {
+              sc with
+              Exec.sc_plan =
+                [
+                  Plan.Perturb
+                    {
+                      pb_iface = iface;
+                      pb_fn = fn;
+                      pb_field = e.Taint.e_field;
+                      pb_nth = 2;
+                      pb_every = true;
+                      pb_walk = false;
+                    };
+                ];
+            }
+          in
+          let o = Exec.run sc in
+          (match o.Exec.oc_adversary with
+          | Some { Exec.ao_fired = true; _ } -> incr fired
+          | _ -> ());
+          match Dst.classify_outcome o with
+          | Dst.Ob_silent when e.Taint.e_verdict <> Taint.Silent ->
+              Alcotest.failf
+                "unexplained failure: sustained %s.%s[%s] went silent but the \
+                 table claims %s"
+                iface fn e.Taint.e_field
+                (Taint.verdict_to_string e.Taint.e_verdict)
+          | _ -> ())
+        entries)
+    edges;
+  if !fired = 0 then Alcotest.fail "sustained adversary never fired"
+
+(* The race campaign is bit-reproducible across worker counts, row for
+   row — same structural rows, same mismatch total. *)
+let test_race_jobs_identical () =
+  let run jobs = Dst.run_race ~jobs ~seed:1100 ~per_entry:1 () in
+  let r1, m1 = run 1 in
+  let r2, m2 = run 2 in
+  Alcotest.(check int) "same mismatch count" m1 m2;
+  Alcotest.(check int) "same row count" (List.length r1) (List.length r2);
+  if r1 <> r2 then Alcotest.fail "race rows differ across --jobs"
 
 (* ------------------------------------------------------------------ *)
 (* Pristine campaign: fixed seed window is clean                       *)
@@ -487,6 +632,17 @@ let () =
             test_adversary_masked;
           Alcotest.test_case "overshot anchor is inert" `Quick
             test_adversary_unfired;
+        ] );
+      ( "race-adversary",
+        [
+          Alcotest.test_case "walk-time perturbation observable" `Quick
+            test_walk_perturbation_observable;
+          Alcotest.test_case "no walk, no fire" `Quick
+            test_walk_adversary_needs_walk;
+          Alcotest.test_case "sustained confusion matrix explained" `Slow
+            test_sustained_confusion_matrix;
+          Alcotest.test_case "race rows identical across jobs" `Slow
+            test_race_jobs_identical;
         ] );
       ( "campaign",
         [

@@ -541,6 +541,16 @@ let test_metrics_fold () =
          (61, 1, inject "hang");
          (62, 1, E.Http { cid = 9; path = "/"; status = 200 });
          (63, 1, E.Http { cid = 9; path = "/nope"; status = 404 });
+         ( 64,
+           1,
+           E.Perturb
+             { iface = "fs"; fn = "twrite"; action = "corrupt:data";
+               in_walk = false } );
+         ( 65,
+           1,
+           E.Perturb
+             { iface = "fs"; fn = "tsplit"; action = "corrupt:name";
+               in_walk = true } );
        ]);
   Alcotest.(check int) "invocations" 3 (Metrics.invocations m);
   Alcotest.(check int) "invocations into 7" 3 (Metrics.invocations ~cid:7 m);
@@ -559,6 +569,17 @@ let test_metrics_fold () =
   Alcotest.(check int) "hang outcomes" 1 (Metrics.outcome_count m "hang");
   Alcotest.(check int) "http requests" 2 (Metrics.http_requests m);
   Alcotest.(check int) "http errors" 1 (Metrics.http_errors m);
+  Alcotest.(check int) "perturbations" 2 (Metrics.perturbs m);
+  Alcotest.(check int) "in-walk perturbations" 1 (Metrics.perturbs_in_walk m);
+  (let summary = Format.asprintf "%a" Metrics.pp_summary m in
+   let has needle =
+     let nl = String.length needle and sl = String.length summary in
+     let rec go i = i + nl <= sl && (String.sub summary i nl = needle || go (i + 1)) in
+     go 0
+   in
+   Alcotest.(check bool)
+     "summary counts walk-time perturbations" true
+     (has "perturbations      2 (1 during walks)"));
   Alcotest.(check int) "span latencies recorded" 2 (Hist.n (Metrics.span_hist m));
   Alcotest.(check int) "walk latency 6 ns" 6 (Hist.sum (Metrics.walk_hist m));
   (* the first ok span end after the reboot: 60 - 20 = 40 ns... except
@@ -676,6 +697,10 @@ let gen_kind =
           E.Http_req
             { cid; client; arrival_ns; start_ns; finish_ns; status; outcome })
         (triple (triple i i i) (triple i i i) gen_str);
+      map
+        (fun (iface, fn, (action, in_walk)) ->
+          E.Perturb { iface; fn; action; in_walk })
+        (triple gen_str gen_str (pair gen_str bool));
       map (fun (name, data) -> E.Note { name; data }) (pair gen_str gen_str);
     ]
 
@@ -699,7 +724,7 @@ let prop_jsonl_covers_all_kinds () =
   for _ = 1 to 3000 do
     Hashtbl.replace seen (E.kind_name (gen_kind st)) ()
   done;
-  Alcotest.(check int) "all 16 constructors generated" 16 (Hashtbl.length seen)
+  Alcotest.(check int) "all 17 constructors generated" 17 (Hashtbl.length seen)
 
 (* ---------- episode stitching & profiling ---------- *)
 
@@ -927,7 +952,7 @@ let () =
           Alcotest.test_case "rejects malformed lines" `Quick
             test_jsonl_rejects_garbage;
           QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
-          Alcotest.test_case "generator covers all 16 kinds" `Quick
+          Alcotest.test_case "generator covers all 17 kinds" `Quick
             prop_jsonl_covers_all_kinds;
         ] );
       ( "check",

@@ -27,6 +27,11 @@ web-tail — fails (exit 1) when
   (No j=4 gate: the sweep has only three points, so parallel speedup is
   bounded by the slowest simulation, not by core count.)
 
+A bench kind both reports agree on but this script doesn't know is
+noted and passed (exit 0): newer bench reports land with their own
+gates before this comparator learns their shape. Mismatched or
+missing kinds are still a usage error (exit 2).
+
 The committed baseline is a full (non --quick) run; check.sh passes a
 --quick run as FRESH. A --quick run is sub-second and startup-dominated
 (measured j=1 spread on the CI container: 99k-166k injections/s against
@@ -141,8 +146,12 @@ def main():
         return check_campaign(committed, fresh)
     if kind == "web-tail":
         return check_web_tail(committed, fresh)
-    print("bench_diff: unknown bench kind: %s" % kind, file=sys.stderr)
-    return 2
+    # A kind this script predates is not a regression: newer bench
+    # reports must be able to land with their own gates before this
+    # comparator learns their shape. Note and pass, don't error.
+    print("bench_diff: note: unknown bench kind %r — no gate applied, "
+          "passing" % kind)
+    return 0
 
 
 if __name__ == "__main__":

@@ -188,7 +188,36 @@ echo "== adversary gate: pinned campaign matches the static verdicts, -j indepen
 ./_build/default/bin/dst.exe adversary --seed 1000 --per-entry 18 -j 2 \
     > "$tmpdir/adv_j2.out"
 cmp "$tmpdir/adv_j1.out" "$tmpdir/adv_j2.out"
-grep -q "118 entr(ies), 17 witness(es), 0 mismatch(es)" "$tmpdir/adv_j1.out"
+grep -q "118 entr(ies), 18 witness(es), 0 mismatch(es)" "$tmpdir/adv_j1.out"
+
+echo "== race gate: sgc race over the six builtins is finding-free"
+# exits 1 on any SG021-SG025 finding, 2 on compile errors
+./_build/default/bin/sgc.exe race --builtins > /dev/null
+./_build/default/bin/sgc.exe race --json --builtins > "$tmpdir/race.json"
+python3 - "$tmpdir/race.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["version"] == 1 and r["schema"] == "sgc-race"
+assert r["errors"] == 0 and r["diagnostics"] == []
+assert r["pairs"] == 138 and len(r["entries"]) == r["pairs"]
+assert (r["isolated"], r["serialized"], r["racy"]) == (113, 20, 5)
+assert len(r["walks"]) == 6
+for e in r["entries"]:
+    assert e["verdict"] in ("isolated", "serialized", "racy")
+    assert e["walker"] and e["iface"] and e["fn"] and e["phase"] and e["reason"]
+EOF
+
+echo "== race gate: pinned recovery-racing campaign matches the verdicts, -j independent"
+# every racy verdict is discharged (silent in-walk witness or sustained
+# zero-detection acceptance), no isolated/serialized pair goes silent
+# (exit 1 on any mismatch), and the report is byte-identical across -j
+./_build/default/bin/dst.exe race --seed 1100 --per-entry 6 -j 1 \
+    > "$tmpdir/race_j1.out"
+./_build/default/bin/dst.exe race --seed 1100 --per-entry 6 -j 2 \
+    > "$tmpdir/race_j2.out"
+cmp "$tmpdir/race_j1.out" "$tmpdir/race_j2.out"
+grep -q "race: 138 pair(s), 5 racy, 3 witness(es), 0 mismatch(es)" \
+    "$tmpdir/race_j1.out"
 
 echo "== webbench gate: open-loop sg-webbench report validates"
 ./_build/default/bin/webbench.exe open-loop --requests 2000 --seed 42 \
